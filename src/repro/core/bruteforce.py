@@ -1,0 +1,104 @@
+"""Exhaustive strategy search — the correctness oracle for Algorithm 1.
+
+Two levels of exhaustiveness:
+
+* :func:`brute_force_best_strategy` enumerates every *meaningful*
+  strategy — every subset of the candidate clients, order forced to
+  strictly decreasing ``DS`` (``2^N`` strategies).  Lemmas 4–5 prove the
+  optimum lies in this set.
+* :func:`brute_force_best_any_order` enumerates every ordered sequence
+  of distinct peers (``Σ_k P(N, k)`` strategies) and evaluates eq. (2)
+  with the general single-loss model.  This is the stronger oracle used
+  to *verify* Lemmas 4–5: the unrestricted optimum must never beat the
+  meaningful optimum.
+
+Both are exponential and exist purely as test oracles; the planner never
+calls them.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+from repro.core.candidates import Candidate
+from repro.core.objective import (
+    Attempt,
+    AttemptCostEstimator,
+    expected_strategy_delay,
+)
+
+
+def _attempts(
+    chain: tuple[Candidate, ...], timeouts: dict[int, float]
+) -> list[Attempt]:
+    return [Attempt(ds=c.ds, rtt=c.rtt, timeout=timeouts[c.node]) for c in chain]
+
+
+def brute_force_best_strategy(
+    ds_u: int,
+    candidates: list[Candidate],
+    source_rtt: float,
+    timeouts: dict[int, float],
+    estimator: AttemptCostEstimator | None = None,
+    allow_empty: bool = True,
+) -> tuple[float, tuple[Candidate, ...]]:
+    """Best meaningful strategy by full subset enumeration.
+
+    ``candidates`` must already be sorted by strictly decreasing ``DS``
+    (as :func:`repro.core.candidates.candidate_clients` returns them).
+    ``timeouts`` maps peer node id to its attempt timeout.  With
+    ``allow_empty=False`` the empty strategy (straight to the source) is
+    excluded, mirroring the ``forbid_direct_source`` restriction.
+
+    Returns ``(expected delay, chain)``.  Ties are broken toward the
+    shorter chain, then lexicographically by node ids, making the result
+    deterministic for test comparisons.
+    """
+    best_delay = float("inf")
+    best_chain: tuple[Candidate, ...] = ()
+    found = False
+    n = len(candidates)
+    for size in range(0 if allow_empty else 1, n + 1):
+        for subset in combinations(candidates, size):
+            delay = expected_strategy_delay(
+                ds_u, _attempts(subset, timeouts), source_rtt, estimator
+            )
+            key = (delay, len(subset), tuple(c.node for c in subset))
+            if not found or key < (
+                best_delay,
+                len(best_chain),
+                tuple(c.node for c in best_chain),
+            ):
+                best_delay, best_chain, found = delay, subset, True
+    if not found:
+        raise ValueError("no admissible strategy (empty candidate set with"
+                         " allow_empty=False)")
+    return best_delay, best_chain
+
+
+def brute_force_best_any_order(
+    ds_u: int,
+    candidates: list[Candidate],
+    source_rtt: float,
+    timeouts: dict[int, float],
+    estimator: AttemptCostEstimator | None = None,
+    max_length: int | None = None,
+) -> tuple[float, tuple[Candidate, ...]]:
+    """Best strategy over **all orders and subsets** of peers.
+
+    Evaluates eq. (2) with the general single-loss model, so
+    out-of-order chains (which Lemma 5 prunes) are scored faithfully.
+    Exponential in ``len(candidates)`` — keep inputs tiny.
+    """
+    best_delay = float("inf")
+    best_chain: tuple[Candidate, ...] = ()
+    n = len(candidates)
+    limit = n if max_length is None else min(max_length, n)
+    for size in range(0, limit + 1):
+        for chain in permutations(candidates, size):
+            delay = expected_strategy_delay(
+                ds_u, _attempts(chain, timeouts), source_rtt, estimator
+            )
+            if delay < best_delay:
+                best_delay, best_chain = delay, chain
+    return best_delay, best_chain

@@ -1,0 +1,269 @@
+"""Exact finite-``p`` loss model (beyond-paper extension).
+
+The paper's theory assumes a reliable network (``p² ≈ 0``): at most one
+link lost the packet, and losses on a peer's *private* branch (between
+the first common router and the peer) are ignored.  Its simulations then
+show the resulting strategy still behaves well up to ``p = 20%``.  This
+module makes that claim quantitative by computing **exact** conditional
+probabilities for independent per-link Bernoulli loss:
+
+* client ``u``'s tree path has ``DS_u`` links; let ``M`` be the position
+  (1-based from the source) of the first lost link, conditioned on ``u``
+  having lost the packet;
+* peer ``v_j`` lost the packet iff ``M ≤ DS_j`` (shared prefix) **or**
+  its private branch of ``ℓ_j`` links lost it, an independent event of
+  probability ``q_j = 1 − (1−p)^{ℓ_j}``;
+* distinct candidates' private branches are vertex-disjoint subtrees
+  hanging off distinct nodes of ``u``'s path, so all ``B_j`` are mutually
+  independent and independent of ``M``.
+
+:func:`exact_expected_delay` evaluates eq. (2) under this model by
+propagating a weight vector over ``M``; :func:`exact_best_any_order`
+exhaustively finds the truly optimal chain, so benches can measure the
+optimality gap of the reliable-network plan as ``p`` grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.objective import AttemptCostEstimator, BlendEstimator
+from repro.net.mcast_tree import MulticastTree
+from repro.net.routing import RoutingTable
+from repro.core.timeouts import TimeoutPolicy
+
+
+@dataclass(frozen=True)
+class ExactPeer:
+    """A peer as the exact model sees it.
+
+    Parameters
+    ----------
+    node:
+        Peer id (carried through for reporting).
+    ds:
+        Hops from the source to the first common router with the client.
+    private_len:
+        Tree hops from that router to the peer (its private branch).
+    rtt:
+        Expected round-trip time from the client.
+    timeout:
+        Attempt timeout.
+    private_loss_prob:
+        Optional explicit probability that the peer's private branch
+        lost the packet.  Required when the model was built with
+        heterogeneous path probabilities (there is no single ``p`` to
+        derive it from); when ``None`` it is computed as
+        ``1 − (1−p)^{private_len}``.
+    """
+
+    node: int
+    ds: int
+    private_len: int
+    rtt: float
+    timeout: float
+    private_loss_prob: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.ds < 0 or self.private_len < 0:
+            raise ValueError("ds and private_len must be >= 0")
+        if self.rtt < 0 or self.timeout < 0:
+            raise ValueError("rtt and timeout must be >= 0")
+        if self.private_loss_prob is not None and not (
+            0.0 <= self.private_loss_prob < 1.0
+        ):
+            raise ValueError("private_loss_prob must be in [0, 1)")
+
+
+class ExactLossModel:
+    """Exact conditional-loss computations for one client.
+
+    Parameters
+    ----------
+    ds_u:
+        Client's tree hop distance from the source (path length).
+    loss_prob:
+        Per-link loss probability ``p`` in ``[0, 1)``; must be positive
+        (with ``p = 0`` the client never loses anything and conditioning
+        on a loss is meaningless).
+    """
+
+    def __init__(self, ds_u: int, loss_prob: float):
+        if ds_u < 1:
+            raise ValueError(f"ds_u must be >= 1, got {ds_u}")
+        if not 0.0 < loss_prob < 1.0:
+            raise ValueError(f"loss_prob must be in (0, 1), got {loss_prob}")
+        self._ds_u = ds_u
+        self._p: float | None = loss_prob
+        # P(M = t | u lost), t = 1..ds_u (stored 0-indexed).
+        survive = (1.0 - loss_prob) ** np.arange(ds_u)
+        raw = survive * loss_prob
+        self._first_loss = raw / raw.sum()
+        self._client_loss = 1.0 - (1.0 - loss_prob) ** ds_u
+
+    @classmethod
+    def heterogeneous(cls, path_loss_probs: Sequence[float]) -> "ExactLossModel":
+        """Model with a distinct loss probability per path link.
+
+        ``path_loss_probs[t]`` is the loss probability of the ``t``-th
+        link from the source on the client's tree path.  Peers passed to
+        :meth:`expected_delay` must then carry an explicit
+        ``private_loss_prob`` (there is no single ``p`` to derive one).
+        At least one link must be lossy (else conditioning on a loss is
+        meaningless).
+        """
+        ps = np.asarray(path_loss_probs, dtype=np.float64)
+        if ps.ndim != 1 or ps.size < 1:
+            raise ValueError("need a non-empty 1-D probability sequence")
+        if ((ps < 0.0) | (ps >= 1.0)).any():
+            raise ValueError("every path loss probability must be in [0, 1)")
+        if not (ps > 0.0).any():
+            raise ValueError("at least one link must have positive loss")
+        model = cls.__new__(cls)
+        model._ds_u = int(ps.size)
+        model._p = None
+        survive_prefix = np.concatenate(([1.0], np.cumprod(1.0 - ps)[:-1]))
+        raw = survive_prefix * ps
+        model._first_loss = raw / raw.sum()
+        model._client_loss = 1.0 - float(np.prod(1.0 - ps))
+        return model
+
+    @property
+    def ds_u(self) -> int:
+        return self._ds_u
+
+    @property
+    def loss_prob(self) -> float | None:
+        """The uniform per-link ``p``; ``None`` for heterogeneous models."""
+        return self._p
+
+    def client_loss_probability(self) -> float:
+        """Unconditional ``P(u lost the packet)``."""
+        return self._client_loss
+
+    def private_loss_probability(self, private_len: int) -> float:
+        """``q = 1 − (1−p)^{ℓ}`` — a peer's private-branch loss.
+
+        Only available on uniform-``p`` models; heterogeneous models
+        need explicit per-peer probabilities.
+        """
+        if self._p is None:
+            raise ValueError(
+                "heterogeneous model: pass private_loss_prob on each peer"
+            )
+        return 1.0 - (1.0 - self._p) ** private_len
+
+    def _peer_private_loss(self, peer: ExactPeer) -> float:
+        if peer.private_loss_prob is not None:
+            return peer.private_loss_prob
+        if peer.private_len == 0:
+            return 0.0  # no private branch, no p needed
+        return self.private_loss_probability(peer.private_len)
+
+    def peer_loss_probability(self, peer: ExactPeer) -> float:
+        """``P(peer lost │ u lost)`` with no other conditioning."""
+        shared = float(self._first_loss[: peer.ds].sum())
+        q = self._peer_private_loss(peer)
+        return shared + (1.0 - shared) * q
+
+    def expected_delay(
+        self,
+        chain: Sequence[ExactPeer],
+        source_rtt: float,
+        estimator: AttemptCostEstimator | None = None,
+    ) -> float:
+        """Exact expected recovery delay of a chain (any order), eq. (2).
+
+        Maintains ``w[t] = P(M = t ∧ all peers so far failed │ u lost)``;
+        at each step the reach probability is ``Σw`` and the conditional
+        success probability ``Σ_t w[t]·s_j(t) / Σw`` with
+        ``s_j(t) = (1−q_j)·1[t > DS_j]``.
+        """
+        if source_rtt < 0:
+            raise ValueError("source_rtt must be >= 0")
+        est = estimator if estimator is not None else BlendEstimator()
+        weights = self._first_loss.copy()
+        total = 0.0
+        for peer in chain:
+            reach = float(weights.sum())
+            if reach <= 0.0:
+                break
+            q = self._peer_private_loss(peer)
+            has_packet = np.zeros_like(weights)
+            has_packet[peer.ds:] = 1.0 - q
+            success = float((weights * has_packet).sum()) / reach
+            total += reach * est.cost(peer.rtt, peer.timeout, success)
+            # Failure factor: certain failure in the shared prefix,
+            # private loss beyond it.
+            fail = np.ones_like(weights)
+            fail[peer.ds:] = q
+            weights = weights * fail
+        total += float(weights.sum()) * source_rtt
+        return total
+
+    @staticmethod
+    def peers_from_tree(
+        tree: MulticastTree,
+        routing: RoutingTable,
+        client: int,
+        peer_nodes: Sequence[int],
+        timeout_policy: TimeoutPolicy,
+    ) -> list[ExactPeer]:
+        """Build :class:`ExactPeer` records from tree geometry."""
+        peers = []
+        for node in peer_nodes:
+            ds = tree.ds(client, node)
+            private_len = tree.depth(node) - ds
+            rtt = routing.rtt(client, node)
+            peers.append(
+                ExactPeer(
+                    node=node,
+                    ds=ds,
+                    private_len=private_len,
+                    rtt=rtt,
+                    timeout=timeout_policy.timeout(rtt),
+                )
+            )
+        return peers
+
+
+def exact_expected_delay(
+    ds_u: int,
+    loss_prob: float,
+    chain: Sequence[ExactPeer],
+    source_rtt: float,
+    estimator: AttemptCostEstimator | None = None,
+) -> float:
+    """Convenience wrapper around :meth:`ExactLossModel.expected_delay`."""
+    return ExactLossModel(ds_u, loss_prob).expected_delay(
+        chain, source_rtt, estimator
+    )
+
+
+def exact_best_any_order(
+    ds_u: int,
+    loss_prob: float,
+    peers: Sequence[ExactPeer],
+    source_rtt: float,
+    estimator: AttemptCostEstimator | None = None,
+    max_length: int | None = None,
+) -> tuple[float, tuple[ExactPeer, ...]]:
+    """Exhaustive truly-optimal chain under the exact model.
+
+    Exponential — a test/bench oracle only.
+    """
+    model = ExactLossModel(ds_u, loss_prob)
+    best_delay = model.expected_delay((), source_rtt, estimator)
+    best_chain: tuple[ExactPeer, ...] = ()
+    n = len(peers)
+    limit = n if max_length is None else min(max_length, n)
+    for size in range(1, limit + 1):
+        for chain in permutations(peers, size):
+            delay = model.expected_delay(chain, source_rtt, estimator)
+            if delay < best_delay:
+                best_delay, best_chain = delay, chain
+    return best_delay, best_chain

@@ -1,0 +1,143 @@
+"""Monte Carlo validation of the loss models.
+
+The paper's Lemmas 1–3 and our exact finite-``p`` extension are both
+*derived*; this module checks them *empirically* by drawing independent
+per-link Bernoulli losses on the real multicast tree and counting who
+lost what.  It is the ground truth both models must agree with, and the
+hypothesis property tests use it to pin the whole probability stack to
+the physical process.
+
+Everything is vectorized: one call draws a ``(trials × tree links)``
+boolean matrix and reduces each node's loss indicator with a single
+``any`` over its root-path columns — no per-trial Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.mcast_tree import MulticastTree
+
+
+@dataclass(frozen=True)
+class EmpiricalChain:
+    """Empirical statistics of one request chain for one client.
+
+    Counts are conditioned on the client having lost the packet.
+
+    ``reach[j]``
+        fraction of client-loss trials in which peers ``0..j-1`` all
+        lost the packet too (``reach[0] == 1``).
+    ``success_given_reach[j]``
+        among those trials, the fraction where peer ``j`` *has* the
+        packet — the empirical counterpart of the Lemma 1 / exact-model
+        conditional success probability.
+    ``client_loss_rate``
+        unconditional fraction of trials in which the client lost the
+        packet.
+    ``trials_used``
+        number of trials where the client lost the packet (the sample
+        size behind the conditional estimates).
+    """
+
+    reach: tuple[float, ...]
+    success_given_reach: tuple[float, ...]
+    client_loss_rate: float
+    trials_used: int
+
+
+class TreeLossSampler:
+    """Draws per-link loss realizations on a multicast tree."""
+
+    def __init__(self, tree: MulticastTree, loss_prob: float):
+        if not 0.0 <= loss_prob < 1.0:
+            raise ValueError(f"loss_prob must be in [0, 1), got {loss_prob}")
+        self._tree = tree
+        self._p = loss_prob
+        # Stable indexing of tree links: one column per non-root member,
+        # the link to its parent.
+        members = [n for n in tree.members if n != tree.root]
+        self._column_of = {node: i for i, node in enumerate(members)}
+        self._num_links = len(members)
+
+    @property
+    def tree(self) -> MulticastTree:
+        return self._tree
+
+    @property
+    def loss_prob(self) -> float:
+        return self._p
+
+    def _path_columns(self, node: int) -> np.ndarray:
+        """Column indices of the links on the root path of ``node``."""
+        path = self._tree.path_to_root(node)
+        return np.array(
+            [self._column_of[n] for n in path if n != self._tree.root],
+            dtype=np.intp,
+        )
+
+    def sample_lost(
+        self, nodes: list[int], rng: np.random.Generator, trials: int
+    ) -> np.ndarray:
+        """Boolean matrix ``(trials, len(nodes))``: did the node lose the
+        packet in that trial (any lost link on its root path)?"""
+        if trials < 1:
+            raise ValueError("trials must be >= 1")
+        losses = rng.random((trials, self._num_links)) < self._p
+        out = np.empty((trials, len(nodes)), dtype=bool)
+        for j, node in enumerate(nodes):
+            cols = self._path_columns(node)
+            if cols.size == 0:
+                out[:, j] = False  # the root never loses its own packet
+            else:
+                out[:, j] = losses[:, cols].any(axis=1)
+        return out
+
+    def empirical_chain(
+        self,
+        client: int,
+        peers: list[int],
+        rng: np.random.Generator,
+        trials: int = 100_000,
+    ) -> EmpiricalChain:
+        """Empirical reach/success statistics for a request chain."""
+        lost = self.sample_lost([client, *peers], rng, trials)
+        client_lost = lost[:, 0]
+        n_lost = int(client_lost.sum())
+        if n_lost == 0:
+            raise ValueError(
+                "no trial lost the packet; raise trials or loss_prob"
+            )
+        peer_lost = lost[client_lost, 1:]
+        reach_mask = np.ones(n_lost, dtype=bool)
+        reach: list[float] = []
+        success: list[float] = []
+        for j in range(len(peers)):
+            reach.append(float(reach_mask.mean()))
+            reached = int(reach_mask.sum())
+            if reached == 0:
+                success.append(float("nan"))
+            else:
+                has = ~peer_lost[:, j]
+                success.append(float((reach_mask & has).sum() / reached))
+            reach_mask = reach_mask & peer_lost[:, j]
+        return EmpiricalChain(
+            reach=tuple(reach),
+            success_given_reach=tuple(success),
+            client_loss_rate=n_lost / trials,
+            trials_used=n_lost,
+        )
+
+    def empirical_pair_loss_matrix(
+        self,
+        nodes: list[int],
+        rng: np.random.Generator,
+        trials: int = 50_000,
+    ) -> np.ndarray:
+        """``P(i lost ∧ j lost)`` matrix — the loss-correlation structure
+        the paper's introduction reasons about (nearby peers are
+        "tightly correlated in terms of packet loss")."""
+        lost = self.sample_lost(nodes, rng, trials).astype(np.float64)
+        return (lost.T @ lost) / trials

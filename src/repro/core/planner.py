@@ -1,0 +1,161 @@
+"""RP planner — the public façade of the paper's contribution.
+
+Given a multicast tree, a routing table and a timeout policy,
+:class:`RPPlanner` computes the low-latency prioritized recovery list
+(the paper's "RP — Recovery strategy based on Prioritized list") for any
+client, wiring together the whole section-3/4 pipeline:
+
+1. candidate clients (one min-RTT peer per competitive class,
+   decreasing ``DS``);
+2. the strategy graph (Definition 1) with the configured attempt-cost
+   estimator and restrictions;
+3. Algorithm 1 (or its length-bounded variant).
+
+The result, a :class:`RecoveryStrategy`, is what the RP protocol runtime
+(:mod:`repro.protocols.rp`) executes at simulation time and what the
+analytic benches evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.algorithm import (
+    searching_minimal_delay,
+    searching_minimal_delay_bounded,
+)
+from repro.core.candidates import Candidate, candidate_clients
+from repro.core.objective import AttemptCostEstimator, BlendEstimator
+from repro.core.strategy_graph import StrategyGraph, StrategyRestrictions
+from repro.core.timeouts import ProportionalTimeout, TimeoutPolicy
+from repro.net.mcast_tree import MulticastTree
+from repro.net.routing import RoutingTable
+
+
+@dataclass(frozen=True)
+class RecoveryStrategy:
+    """A computed prioritized recovery list for one client.
+
+    Parameters
+    ----------
+    client:
+        The client the strategy belongs to.
+    attempts:
+        Candidates in request order (each carries ``node``, ``ds`` and
+        ``rtt``); the source fallback is implicit after the last entry.
+    timeouts:
+        Attempt timeout per entry of ``attempts``.
+    source_rtt:
+        Expected round trip to the source (used by the fallback).
+    source_timeout:
+        Timeout guarding a request to the source (for lost requests).
+    expected_delay:
+        The optimal objective value (eq. 3) Algorithm 1 found.
+    ds_u:
+        Client's hop distance from the source on the tree.
+    """
+
+    client: int
+    attempts: tuple[Candidate, ...]
+    timeouts: tuple[float, ...]
+    source_rtt: float
+    source_timeout: float
+    expected_delay: float
+    ds_u: int
+
+    @property
+    def peer_nodes(self) -> tuple[int, ...]:
+        return tuple(c.node for c in self.attempts)
+
+    def __len__(self) -> int:
+        return len(self.attempts)
+
+
+class RPPlanner:
+    """Computes RP recovery strategies for the clients of one session.
+
+    Parameters
+    ----------
+    tree:
+        The multicast tree ``T``.
+    routing:
+        Unicast routing (RTT estimates and paths) over the full graph.
+    timeout_policy:
+        Attempt timeout as a function of peer RTT; defaults to
+        ``1.5 × rtt + 1``.
+    estimator:
+        Per-attempt cost model for eq. (1); defaults to the paper's
+        blend of RTT and timeout.
+    restrictions:
+        Optional strategy-graph restrictions (section 4).
+    """
+
+    def __init__(
+        self,
+        tree: MulticastTree,
+        routing: RoutingTable,
+        timeout_policy: TimeoutPolicy | None = None,
+        estimator: AttemptCostEstimator | None = None,
+        restrictions: StrategyRestrictions | None = None,
+    ):
+        if routing.topology is not tree.topology:
+            raise ValueError("tree and routing table must share one topology")
+        self._tree = tree
+        self._routing = routing
+        self._timeout_policy = timeout_policy or ProportionalTimeout()
+        self._estimator = estimator if estimator is not None else BlendEstimator()
+        self._restrictions = restrictions or StrategyRestrictions()
+
+    @property
+    def tree(self) -> MulticastTree:
+        return self._tree
+
+    @property
+    def routing(self) -> RoutingTable:
+        return self._routing
+
+    @property
+    def timeout_policy(self) -> TimeoutPolicy:
+        return self._timeout_policy
+
+    def candidates_for(self, client: int) -> list[Candidate]:
+        """Candidate clients for ``client`` in decreasing-``DS`` order."""
+        return candidate_clients(self._tree, self._routing, client)
+
+    def strategy_graph_for(self, client: int) -> StrategyGraph:
+        """Build the Definition-1 strategy graph for ``client``."""
+        candidates = self.candidates_for(client)
+        timeouts = [self._timeout_policy.timeout(c.rtt) for c in candidates]
+        return StrategyGraph(
+            ds_u=self._tree.depth(client),
+            candidates=candidates,
+            source_rtt=self._routing.rtt(client, self._tree.root),
+            timeouts=timeouts,
+            estimator=self._estimator,
+            restrictions=self._restrictions,
+        )
+
+    def plan(self, client: int) -> RecoveryStrategy:
+        """Compute the optimal prioritized list for one client."""
+        graph = self.strategy_graph_for(client)
+        limit = self._restrictions.max_list_length
+        if limit is None:
+            result = searching_minimal_delay(graph)
+        else:
+            result = searching_minimal_delay_bounded(graph, limit)
+        chain = tuple(graph.candidate_at(i) for i in result.path)
+        timeouts = tuple(self._timeout_policy.timeout(c.rtt) for c in chain)
+        source_rtt = graph.source_rtt
+        return RecoveryStrategy(
+            client=client,
+            attempts=chain,
+            timeouts=timeouts,
+            source_rtt=source_rtt,
+            source_timeout=self._timeout_policy.timeout(source_rtt),
+            expected_delay=result.delay,
+            ds_u=graph.ds_u,
+        )
+
+    def plan_all(self) -> dict[int, RecoveryStrategy]:
+        """Strategies for every client of the tree, keyed by client id."""
+        return {client: self.plan(client) for client in self._tree.clients}

@@ -1,0 +1,209 @@
+"""The strategy graph (Definition 1, section 4).
+
+A weighted directed acyclic graph over ``{u, v_1, …, v_N, S}`` where the
+``v_i`` are the candidate clients sorted by strictly decreasing ``DS``.
+Edges go from ``u`` to every other node, from every ``v_i`` to ``S``, and
+from ``v_i`` to ``v_j`` for ``i < j``.  Weights are arranged so that the
+length of any ``u → S`` path equals the expected delay (eq. 3) of the
+recovery strategy that visits the same candidates in the same order:
+
+* an edge from a predecessor with ``DS_prev`` (``DS_u`` for ``u``
+  itself) to candidate ``v_j`` weighs
+  ``(DS_prev / DS_u) · d(v_j │ DS_prev)`` — the probability of reaching
+  the attempt times its conditional expected cost (eq. 1);
+* an edge into ``S`` weighs ``(DS_prev / DS_u) · d(u, S)``.
+
+The paper notes the graph "may be modified to represent restricted
+strategies also.  For example, if we do not want any client to go to
+source directly, we remove the (u → S) edge" — §4.
+:class:`StrategyRestrictions` captures exactly such edge deletions.
+
+The graph is complete (upper-triangular), so it is never materialized:
+:meth:`StrategyGraph.weight` computes any edge weight in O(1) and
+Algorithm 1 streams over them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.core.candidates import Candidate
+from repro.core.objective import AttemptCostEstimator, BlendEstimator
+
+
+@dataclass(frozen=True)
+class StrategyRestrictions:
+    """Edge deletions applied to the strategy graph.
+
+    Parameters
+    ----------
+    forbid_direct_source:
+        Remove the ``u → S`` edge: the client must try at least one peer
+        before falling back to the source ("such a strategy will
+        alleviate congestion at source if there are many clients close to
+        source", §4).
+    forbidden_peers:
+        Candidate node ids removed from the graph entirely.
+    max_list_length:
+        Upper bound on the number of peers in the strategy (source
+        fallback excluded); ``None`` means unbounded.  Enforced by the
+        bounded variant of Algorithm 1, not by edge deletion.
+    """
+
+    forbid_direct_source: bool = False
+    forbidden_peers: frozenset[int] = field(default_factory=frozenset)
+    max_list_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_list_length is not None and self.max_list_length < 0:
+            raise ValueError("max_list_length must be >= 0 or None")
+
+
+#: Index of the start node (the client ``u``) in the strategy graph.
+START = 0
+
+
+class StrategyGraph:
+    """Implicit weighted DAG over ``{u, v_1..v_N, S}``.
+
+    Node indexing: ``0`` is the client ``u``; ``1..N`` are the candidates
+    in decreasing-``DS`` order; ``N+1`` is the sink ``S``.
+    """
+
+    def __init__(
+        self,
+        ds_u: int,
+        candidates: list[Candidate],
+        source_rtt: float,
+        timeouts: list[float],
+        estimator: AttemptCostEstimator | None = None,
+        restrictions: StrategyRestrictions | None = None,
+    ):
+        if ds_u < 1:
+            raise ValueError(f"ds_u must be >= 1, got {ds_u}")
+        if source_rtt < 0:
+            raise ValueError("source_rtt must be >= 0")
+        if len(timeouts) != len(candidates):
+            raise ValueError("need exactly one timeout per candidate")
+        restrictions = restrictions or StrategyRestrictions()
+        if restrictions.forbidden_peers:
+            kept = [
+                (c, t)
+                for c, t in zip(candidates, timeouts)
+                if c.node not in restrictions.forbidden_peers
+            ]
+            candidates = [c for c, _ in kept]
+            timeouts = [t for _, t in kept]
+        previous = ds_u
+        for candidate in candidates:
+            if candidate.ds >= previous:
+                raise ValueError(
+                    "candidates must have strictly decreasing DS below"
+                    f" ds_u={ds_u}; got DS {candidate.ds} after {previous}"
+                )
+            previous = candidate.ds
+        self._ds_u = ds_u
+        self._candidates = list(candidates)
+        self._timeouts = list(timeouts)
+        self._source_rtt = source_rtt
+        self._estimator = estimator if estimator is not None else BlendEstimator()
+        self._restrictions = restrictions
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def ds_u(self) -> int:
+        return self._ds_u
+
+    @property
+    def candidates(self) -> list[Candidate]:
+        return list(self._candidates)
+
+    @property
+    def source_rtt(self) -> float:
+        return self._source_rtt
+
+    @property
+    def restrictions(self) -> StrategyRestrictions:
+        return self._restrictions
+
+    @property
+    def num_nodes(self) -> int:
+        """``N + 2``: client, candidates, source sink."""
+        return len(self._candidates) + 2
+
+    @property
+    def sink(self) -> int:
+        return len(self._candidates) + 1
+
+    def candidate_at(self, index: int) -> Candidate:
+        """Candidate for a graph index in ``1..N``."""
+        if not 1 <= index <= len(self._candidates):
+            raise ValueError(f"index {index} is not a candidate node")
+        return self._candidates[index - 1]
+
+    def _ds_of(self, index: int) -> int:
+        """``DS`` of a non-sink node (``DS_u`` for the start node)."""
+        if index == START:
+            return self._ds_u
+        return self._candidates[index - 1].ds
+
+    # -- weights ------------------------------------------------------------
+
+    def weight(self, i: int, j: int) -> float | None:
+        """Weight of edge ``i → j``; ``None`` when no such edge exists.
+
+        Edges exist from the start node to everything, from candidates to
+        later candidates, and from candidates to the sink — minus
+        restriction deletions.
+        """
+        sink = self.sink
+        if not (0 <= i < sink and START < j <= sink) or j <= i:
+            return None
+        if i == START and j == sink and self._restrictions.forbid_direct_source:
+            return None
+        ds_prev = self._ds_of(i)
+        reach = ds_prev / self._ds_u
+        if j == sink:
+            return reach * self._source_rtt
+        candidate = self._candidates[j - 1]
+        timeout = self._timeouts[j - 1]
+        # Conditional success probability given everything up to the
+        # predecessor failed (Lemma 1): (DS_prev - DS_j) / DS_prev.
+        # ds_prev >= 1 here: candidates have DS < ds_prev of their
+        # predecessor, so a DS = 0 node has no outgoing candidate edges.
+        success = (ds_prev - candidate.ds) / ds_prev
+        return reach * self._estimator.cost(candidate.rtt, timeout, success)
+
+    def edges_from(self, i: int) -> Iterator[tuple[int, float]]:
+        """Yield ``(target, weight)`` for every outgoing edge of node ``i``."""
+        for j in range(i + 1, self.sink + 1):
+            w = self.weight(i, j)
+            if w is not None:
+                yield j, w
+
+    def edge_list(self) -> list[tuple[int, int, float]]:
+        """Materialized ``(i, j, weight)`` triples — for test oracles."""
+        out = []
+        for i in range(self.sink):
+            for j, w in self.edges_from(i):
+                out.append((i, j, w))
+        return out
+
+    def path_delay(self, candidate_indices: list[int]) -> float:
+        """Expected delay of the strategy visiting the given candidate
+        graph-indices (ascending) and then the source — i.e. the length
+        of the corresponding ``u → … → S`` path."""
+        total = 0.0
+        node = START
+        for index in candidate_indices:
+            w = self.weight(node, index)
+            if w is None:
+                raise ValueError(f"no edge {node} -> {index}")
+            total += w
+            node = index
+        w = self.weight(node, self.sink)
+        if w is None:
+            raise ValueError(f"no edge {node} -> sink")
+        return total + w

@@ -1,0 +1,166 @@
+"""Static client subgrouping for source recovery.
+
+Section 2.2 of the paper: "The recovery load on S may be reduced by
+grouping clients in a net neighborhood together.  Whenever S receives a
+recovery request, it will multicast the packet to all members of the
+subgroup (using the original multicast tree) from where the recovery
+request came.  Reference [4] discusses one such source-based subgrouping
+strategy in detail."
+
+A *subgrouping* is a partition of the tree's clients such that each
+part is covered by one subtree (so the source can repair a part with a
+single subtree multicast).  Three strategies are provided:
+
+* :class:`TopLevelSubgrouping` — one subgroup per child of the source
+  (the default the protocol runtimes use); coarsest.
+* :class:`DepthSubgrouping` — one subgroup per depth-``k`` ancestor:
+  finer "net neighborhoods", smaller repair multicasts, but a repair
+  covers fewer co-losers.
+* :class:`SizeCappedSubgrouping` — greedy decomposition into subtrees
+  with at most ``max_clients`` clients each: balances repair cost
+  against coverage regardless of tree shape.
+
+Every strategy exposes ``subgroup_root(node)`` — the subtree root whose
+multicast covers the requester — which is all the source agents need.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.net.mcast_tree import MulticastTree
+
+
+class SubgroupingStrategy(abc.ABC):
+    """Maps a tree member to the root of its repair subgroup."""
+
+    def __init__(self, tree: MulticastTree):
+        self._tree = tree
+
+    @property
+    def tree(self) -> MulticastTree:
+        return self._tree
+
+    @abc.abstractmethod
+    def subgroup_root(self, node: int) -> int:
+        """Root of the subtree the source multicasts to for ``node``."""
+
+    def subgroups(self) -> dict[int, list[int]]:
+        """All subgroups: ``root -> clients``, for inspection/tests."""
+        out: dict[int, list[int]] = {}
+        for client in self._tree.clients:
+            out.setdefault(self.subgroup_root(client), []).append(client)
+        return out
+
+    def validate(self) -> None:
+        """Check the partition property: every client in exactly one
+        subgroup, and inside its subgroup's subtree."""
+        seen: set[int] = set()
+        for root, members in self.subgroups().items():
+            for client in members:
+                if client in seen:
+                    raise ValueError(f"client {client} in two subgroups")
+                seen.add(client)
+                if not self._tree.is_ancestor(root, client):
+                    raise ValueError(
+                        f"client {client} outside its subgroup root {root}"
+                    )
+        missing = set(self._tree.clients) - seen
+        if missing:
+            raise ValueError(f"clients not covered: {sorted(missing)}")
+
+
+class TopLevelSubgrouping(SubgroupingStrategy):
+    """One subgroup per child of the source (the paper's default)."""
+
+    def subgroup_root(self, node: int) -> int:
+        return self._tree.top_level_subgroup(node)
+
+
+class DepthSubgrouping(SubgroupingStrategy):
+    """One subgroup per ancestor at depth ``k``.
+
+    A node shallower than ``k`` forms its own (singleton-rooted)
+    subgroup.  ``k = 1`` coincides with :class:`TopLevelSubgrouping`.
+    """
+
+    def __init__(self, tree: MulticastTree, depth: int):
+        super().__init__(tree)
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self._depth = depth
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def subgroup_root(self, node: int) -> int:
+        d = self._tree.depth(node)
+        if d <= self._depth:
+            return node
+        cur = node
+        while self._tree.depth(cur) > self._depth:
+            parent = self._tree.parent(cur)
+            assert parent is not None
+            cur = parent
+        return cur
+
+
+class SizeCappedSubgrouping(SubgroupingStrategy):
+    """Greedy subtree decomposition with at most ``max_clients`` clients.
+
+    Walking bottom-up, a subtree becomes a subgroup root when absorbing
+    it into its parent would exceed the cap.  The result adapts to tree
+    shape: bushy regions split finely, sparse chains stay coarse.
+    """
+
+    def __init__(self, tree: MulticastTree, max_clients: int):
+        super().__init__(tree)
+        if max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
+        self._max = max_clients
+        self._root_of: dict[int, int] = {}
+        self._build()
+
+    @property
+    def max_clients(self) -> int:
+        return self._max
+
+    def _build(self) -> None:
+        tree = self._tree
+        clients = set(tree.clients)
+        # Post-order (deepest first) accumulation of "uncovered" client
+        # counts; when a node's accumulated count would exceed the cap,
+        # close off its non-empty child subtrees as subgroups.
+        uncovered: dict[int, int] = {}
+        group_roots: list[int] = []
+        for node in sorted(tree.members, key=tree.depth, reverse=True):
+            count = (1 if node in clients else 0) + sum(
+                uncovered.get(child, 0) for child in tree.children(node)
+            )
+            if count > self._max:
+                for child in tree.children(node):
+                    if uncovered.get(child, 0) > 0:
+                        group_roots.append(child)
+                count = 1 if node in clients else 0
+            uncovered[node] = count
+        if uncovered.get(tree.root, 0) > 0 or not group_roots:
+            group_roots.append(tree.root)
+        # Assign every client to its deepest covering group root.
+        roots_by_depth = sorted(group_roots, key=tree.depth, reverse=True)
+        for client in tree.clients:
+            for root in roots_by_depth:
+                if tree.is_ancestor(root, client):
+                    self._root_of[client] = root
+                    break
+
+    def subgroup_root(self, node: int) -> int:
+        root = self._root_of.get(node)
+        if root is not None:
+            return root
+        # Non-client members: deepest group root covering them, else root.
+        for cand in sorted(self._root_of.values(), key=self._tree.depth,
+                           reverse=True):
+            if self._tree.is_ancestor(cand, node):
+                return cand
+        return self._tree.root

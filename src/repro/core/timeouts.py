@@ -1,0 +1,79 @@
+"""Timeout policies for recovery attempts.
+
+The objective function (eq. 1) charges ``t0`` for a failed attempt —
+"let the timeout be t0; this much delay will incur if the recovery
+effort fails" (section 3.1).  The paper leaves how ``t0`` is set open;
+any real implementation must pick a timeout at least as large as the
+round-trip time to the peer or every attempt spuriously expires.
+
+Two policies are provided and shared between the planner (which uses
+them inside edge weights) and the protocol runtimes (which arm real
+timers with them), so the model and the simulated behaviour agree:
+
+* :class:`FixedTimeout` — one constant ``t0`` for every attempt, the
+  paper's notation taken literally;
+* :class:`ProportionalTimeout` — ``factor · rtt + slack`` per peer, the
+  standard RTT-proportional retransmission timeout.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class TimeoutPolicy(abc.ABC):
+    """Maps a peer's expected round-trip time to a request timeout."""
+
+    @abc.abstractmethod
+    def timeout(self, rtt: float) -> float:
+        """Timeout guarding an attempt whose expected RTT is ``rtt``."""
+
+
+class FixedTimeout(TimeoutPolicy):
+    """A single constant ``t0`` regardless of the peer."""
+
+    def __init__(self, t0: float):
+        if t0 <= 0:
+            raise ValueError(f"t0 must be positive, got {t0}")
+        self._t0 = t0
+
+    @property
+    def t0(self) -> float:
+        return self._t0
+
+    def timeout(self, rtt: float) -> float:
+        return self._t0
+
+    def __repr__(self) -> str:
+        return f"FixedTimeout({self._t0!r})"
+
+
+class ProportionalTimeout(TimeoutPolicy):
+    """``factor · rtt + slack`` — scales with the peer's distance.
+
+    ``factor`` must be at least 1 so a successful reply always beats the
+    timer; the default 1.5× plus a small slack absorbs the simulator's
+    processing granularity.
+    """
+
+    def __init__(self, factor: float = 1.5, slack: float = 1.0):
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if slack < 0.0:
+            raise ValueError(f"slack must be >= 0, got {slack}")
+        self._factor = factor
+        self._slack = slack
+
+    @property
+    def factor(self) -> float:
+        return self._factor
+
+    @property
+    def slack(self) -> float:
+        return self._slack
+
+    def timeout(self, rtt: float) -> float:
+        return self._factor * rtt + self._slack
+
+    def __repr__(self) -> str:
+        return f"ProportionalTimeout(factor={self._factor!r}, slack={self._slack!r})"

@@ -1,0 +1,51 @@
+"""Experiment harness: scenario configs, runners, figure sweeps, reports.
+
+:mod:`repro.experiments.config` defines the scenario knobs;
+:mod:`repro.experiments.runner` builds a seeded network once and runs
+each protocol on it; :mod:`repro.experiments.figures` parameterizes the
+paper's four result figures; :mod:`repro.experiments.report` renders the
+text tables and the paper-style improvement percentages.
+"""
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import (
+    BuiltScenario,
+    RunArtifacts,
+    build_scenario,
+    run_protocol,
+    run_protocol_detailed,
+    run_protocols,
+)
+from repro.experiments.campaign import CampaignResult, run_campaign
+from repro.experiments.figures import (
+    FigureSeries,
+    SweepResult,
+    default_protocols,
+    run_client_sweep,
+    run_loss_sweep,
+)
+from repro.experiments.report import format_table, improvement_pct
+from repro.experiments.persistence import load_sweep, save_sweep
+from repro.experiments.ascii_plot import plot_series
+
+__all__ = [
+    "load_sweep",
+    "save_sweep",
+    "plot_series",
+    "RunArtifacts",
+    "run_protocol_detailed",
+    "CampaignResult",
+    "run_campaign",
+    "ScenarioConfig",
+    "BuiltScenario",
+    "build_scenario",
+    "run_protocol",
+    "run_protocols",
+    "FigureSeries",
+    "SweepResult",
+    "default_protocols",
+    "run_client_sweep",
+    "run_loss_sweep",
+    "format_table",
+    "improvement_pct",
+]

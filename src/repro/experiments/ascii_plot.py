@@ -1,0 +1,92 @@
+"""ASCII line plots for figure sweeps.
+
+The paper presents Figures 5–8 as line charts; :func:`plot_series`
+renders the same series as a terminal chart so `python -m repro figure N
+--plot` gives an immediate visual read of the shapes (who wins, where
+curves cross) without any plotting dependency.
+
+Rendering is deliberately simple: linear x/y scaling onto a character
+grid, one marker per protocol, last-writer-wins on collisions (markers
+are drawn in series order, so the first series shows through least —
+the legend notes overplotting).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureSeries
+
+#: Markers assigned to series in order.
+MARKERS = "*o+x#@"
+
+
+def plot_series(
+    series: list[FigureSeries],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render line-chart series onto a character grid.
+
+    Points are scaled into the grid and adjacent points of one series
+    joined with linear interpolation.  Returns a multi-line string with
+    y-axis ticks on the left and a legend underneath.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    xs = [x for s in series for x in s.xs]
+    ys = [y for s in series for y in s.ys]
+    if not xs:
+        raise ValueError("series have no points")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    def col(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(y: float) -> int:
+        # Row 0 is the top of the grid.
+        return round((y_max - y) / (y_max - y_min) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = MARKERS[index % len(MARKERS)]
+        points = sorted(zip(s.xs, s.ys))
+        previous: tuple[int, int] | None = None
+        for x, y in points:
+            c, r = col(x), row(y)
+            if previous is not None:
+                pc, pr = previous
+                steps = max(abs(c - pc), abs(r - pr))
+                for step in range(1, steps):
+                    ic = pc + round((c - pc) * step / steps)
+                    ir = pr + round((r - pr) * step / steps)
+                    if grid[ir][ic] == " ":
+                        grid[ir][ic] = "."
+            grid[r][c] = marker
+            previous = (c, r)
+
+    # Assemble with y ticks at top/middle/bottom.
+    tick_rows = {0: y_max, height // 2: (y_max + y_min) / 2, height - 1: y_min}
+    lines = []
+    for r in range(height):
+        tick = f"{tick_rows[r]:10.2f} |" if r in tick_rows else " " * 10 + " |"
+        lines.append(tick + "".join(grid[r]))
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_axis = f"{x_min:g}"
+    x_axis += " " * max(1, width - len(x_axis) - len(f"{x_max:g}"))
+    x_axis += f"{x_max:g}"
+    lines.append(" " * 12 + x_axis)
+    if x_label or y_label:
+        lines.append(" " * 12 + f"x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {s.protocol}" for i, s in enumerate(series)
+    )
+    lines.append(" " * 12 + legend + "   (later series overplot earlier)")
+    return "\n".join(lines)

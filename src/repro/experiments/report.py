@@ -1,0 +1,71 @@
+"""Text rendering of figure results.
+
+The paper plots line charts; we print the same series as aligned text
+tables plus the headline sentences ("average recovery latency of RP is
+X% shorter than that of SRM ...") computed the way the paper computes
+them — from the sweep-wide means.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import SweepResult
+
+
+def improvement_pct(ours: float, theirs: float) -> float:
+    """How much smaller ``ours`` is than ``theirs``, in percent.
+
+    ``improvement_pct(2.0, 10.0) == 80.0``.  Returns 0 when ``theirs``
+    is 0 (nothing to improve on).
+    """
+    if theirs == 0:
+        return 0.0
+    return 100.0 * (theirs - ours) / theirs
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Simple aligned text table (right-aligned data columns)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_figure(
+    sweep: SweepResult, metric: str, title: str, unit: str
+) -> str:
+    """Render one figure's table + headline improvements.
+
+    ``metric`` is ``latency`` or ``bandwidth``.
+    """
+    series = (
+        sweep.latency_series() if metric == "latency" else sweep.bandwidth_series()
+    )
+    headers = [sweep.x_label, "clients"] + [s.protocol for s in series]
+    rows = []
+    for i, point in enumerate(sweep.points):
+        row = [f"{point.x:g}", f"{point.num_clients:.0f}"]
+        row += [f"{s.ys[i]:.2f}" for s in series]
+        rows.append(row)
+    out = [f"== {title} ({unit}) ==", format_table(headers, rows)]
+    if "RP" in sweep.protocols:
+        rp = sweep.overall_mean("RP", metric)
+        for other in sweep.protocols:
+            if other == "RP":
+                continue
+            them = sweep.overall_mean(other, metric)
+            pct = improvement_pct(rp, them)
+            direction = "below" if pct >= 0 else "above"
+            out.append(
+                f"RP {metric} is {abs(pct):.2f}% {direction}"
+                f" {other} (sweep-wide mean {rp:.2f} vs {them:.2f})"
+            )
+    return "\n".join(out)

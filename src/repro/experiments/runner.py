@@ -1,0 +1,142 @@
+"""Building and running scenarios.
+
+The comparison discipline matters: for one seed, the topology, multicast
+tree and routing are built **once** and every protocol runs on that same
+network (fresh event queue, fresh agents, its own loss stream).  This is
+how the paper compares "the performance of our recovery strategy with
+that of SRM and RMA" per generated topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ScenarioConfig
+from repro.metrics.collectors import BandwidthLedger, RecoveryLog
+from repro.metrics.summary import RunSummary, summarize_run
+from repro.net.generators import random_backbone
+from repro.net.mcast_tree import MulticastTree, random_multicast_tree
+from repro.net.routing import RoutingTable
+from repro.net.topology import Topology
+from repro.protocols.base import CompletionTracker, ProtocolFactory, StreamDriver
+from repro.sim.congestion import LinearCongestionModel
+from repro.sim.engine import EventQueue
+from repro.sim.network import SimNetwork
+from repro.sim.rng import RngStreams
+
+
+@dataclass
+class BuiltScenario:
+    """A generated network shared by all protocol runs of one seed."""
+
+    config: ScenarioConfig
+    topology: Topology
+    tree: MulticastTree
+    routing: RoutingTable
+
+    @property
+    def clients(self) -> list[int]:
+        return self.tree.clients
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.tree.clients)
+
+
+def build_scenario(config: ScenarioConfig) -> BuiltScenario:
+    """Generate the topology and multicast tree for a config's seed."""
+    streams = RngStreams(config.seed)
+    topology = random_backbone(config.topology_config(), streams.get("topology"))
+    tree = random_multicast_tree(topology, streams.get("tree"))
+    routing = RoutingTable(topology)
+    return BuiltScenario(
+        config=config, topology=topology, tree=tree, routing=routing
+    )
+
+
+@dataclass
+class RunArtifacts:
+    """A run's summary plus its raw collectors, for deeper analysis."""
+
+    summary: RunSummary
+    log: RecoveryLog
+    ledger: BandwidthLedger
+
+
+def run_protocol(
+    built: BuiltScenario, factory: ProtocolFactory
+) -> RunSummary:
+    """Run one protocol on a built scenario and summarize it.
+
+    The run stops when every client holds every packet, then drains for
+    ``config.drain_time`` so in-flight recovery traffic is billed.
+    Raises ``RuntimeError`` if the event budget is exhausted before
+    completion (a protocol liveness bug, not a measurement).
+    """
+    return run_protocol_detailed(built, factory).summary
+
+
+def run_protocol_detailed(
+    built: BuiltScenario, factory: ProtocolFactory
+) -> RunArtifacts:
+    """Like :func:`run_protocol` but also returns the raw collectors
+    (per-loss timelines, per-kind hop counters)."""
+    config = built.config
+    streams = RngStreams(config.seed)
+    events = EventQueue()
+    ledger = BandwidthLedger()
+    log = RecoveryLog()
+    network = SimNetwork(
+        events,
+        built.topology,
+        built.routing,
+        built.tree,
+        loss_rng=streams.get(f"loss:{factory.name}"),
+        ledger=ledger,
+        data_loss_rng=streams.get("loss:data"),
+        lossless_recovery=config.lossless_recovery,
+        jitter=config.jitter,
+        jitter_rng=(
+            streams.get(f"jitter:{factory.name}") if config.jitter > 0 else None
+        ),
+        congestion=(
+            LinearCongestionModel(config.congestion_alpha)
+            if config.congestion_alpha > 0
+            else None
+        ),
+    )
+    clients = built.tree.clients
+    tracker = CompletionTracker(len(clients), config.num_packets)
+    source_agent = factory.install(
+        network, log, tracker, streams, config.num_packets
+    )
+    driver = StreamDriver(network, source_agent, config.stream_config(), tracker)
+    driver.start()
+
+    events.run(max_events=config.max_events, stop_when=lambda: tracker.complete)
+    if not tracker.complete:
+        raise RuntimeError(
+            f"{factory.name}: session did not complete "
+            f"({tracker.remaining} receptions outstanding)"
+        )
+    # Drain: let armed repair timers and in-flight packets finish.
+    events.run(until=events.now + config.drain_time, max_events=config.max_events)
+
+    summary = summarize_run(
+        protocol=factory.name,
+        num_clients=len(clients),
+        num_packets=config.num_packets,
+        log=log,
+        ledger=ledger,
+        sim_time=events.now,
+        events_processed=events.processed,
+    )
+    return RunArtifacts(summary=summary, log=log, ledger=ledger)
+
+
+def run_protocols(
+    config: ScenarioConfig, factories: list[ProtocolFactory]
+) -> dict[str, RunSummary]:
+    """Build once, run every factory; returns summaries keyed by name."""
+    built = build_scenario(config)
+    return {f.name: run_protocol(built, f) for f in factories}

@@ -1,0 +1,27 @@
+"""Measurement: hop ledgers, recovery logs, run summaries.
+
+The paper's two evaluation metrics (Figures 5–8) are
+
+* **average recovery latency per packet recovered** — mean, over every
+  (client, sequence) pair that was lost and later repaired, of the time
+  from loss detection to repair arrival;
+* **average bandwidth usage per packet recovered (hops)** — total link
+  traversals consumed by recovery traffic (requests, NACKs, repairs)
+  divided by the number of packets recovered.
+
+:class:`~repro.metrics.collectors.BandwidthLedger` counts the hops at
+the network layer, :class:`~repro.metrics.collectors.RecoveryLog` tracks
+per-loss timelines, and :mod:`repro.metrics.summary` reduces one run (or
+many seeds) to the numbers the figures plot.
+"""
+
+from repro.metrics.collectors import BandwidthLedger, RecoveryLog
+from repro.metrics.summary import RunSummary, aggregate_summaries, summarize_run
+
+__all__ = [
+    "BandwidthLedger",
+    "RecoveryLog",
+    "RunSummary",
+    "summarize_run",
+    "aggregate_summaries",
+]

@@ -1,0 +1,190 @@
+"""Low-level measurement collectors.
+
+:class:`BandwidthLedger` lives at the network layer: every link
+traversal *attempt* is charged (a packet transmitted onto a link
+consumed its bandwidth whether or not the loss process delivered it),
+bucketed by packet kind.  Recovery bandwidth — the paper's metric — is
+the REQUEST + NACK + REPAIR total.
+
+:class:`RecoveryLog` lives at the protocol layer: one record per
+(client, sequence) loss, from detection to first repair arrival.  A
+client may be repaired by traffic it never requested (an SRM flood, an
+RMA subtree repair); the log only cares *when* the packet finally
+arrived, which is exactly what "recovery latency per packet recovered"
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.packet import PacketKind
+
+
+@dataclass
+class BandwidthLedger:
+    """Hop counters, bucketed by packet kind."""
+
+    hops_by_kind: dict[PacketKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in PacketKind}
+    )
+    drops_by_kind: dict[PacketKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in PacketKind}
+    )
+
+    def charge_hop(self, kind: PacketKind) -> None:
+        self.hops_by_kind[kind] += 1
+
+    def charge_drop(self, kind: PacketKind) -> None:
+        self.drops_by_kind[kind] += 1
+
+    @property
+    def recovery_hops(self) -> int:
+        """Total hops of recovery traffic (the figures' numerator)."""
+        return (
+            self.hops_by_kind[PacketKind.REQUEST]
+            + self.hops_by_kind[PacketKind.NACK]
+            + self.hops_by_kind[PacketKind.REPAIR]
+        )
+
+    @property
+    def data_hops(self) -> int:
+        return self.hops_by_kind[PacketKind.DATA]
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drops_by_kind.values())
+
+
+@dataclass
+class _LossRecord:
+    detected_at: float
+    recovered_at: float | None = None
+
+
+class RecoveryLog:
+    """Per-(client, seq) recovery timelines."""
+
+    def __init__(self):
+        self._records: dict[tuple[int, int], _LossRecord] = {}
+
+    def loss_detected(self, client: int, seq: int, time: float) -> None:
+        """Record that ``client`` noticed losing ``seq`` at ``time``.
+
+        Idempotent: re-detection of a known loss is ignored (the first
+        detection starts the latency clock).
+        """
+        self._records.setdefault((client, seq), _LossRecord(detected_at=time))
+
+    def recovered(self, client: int, seq: int, time: float) -> None:
+        """Record that the missing packet arrived.
+
+        Only the first arrival counts; duplicates (multiple repairs) are
+        ignored.  An arrival without a prior detection raises — it would
+        mean the protocol recovered something it never reported losing,
+        which is a bookkeeping bug.
+        """
+        record = self._records.get((client, seq))
+        if record is None:
+            raise ValueError(
+                f"recovery of ({client}, {seq}) without a detected loss"
+            )
+        if record.recovered_at is None:
+            if time < record.detected_at:
+                raise ValueError(
+                    f"recovery at {time} precedes detection at {record.detected_at}"
+                )
+            record.recovered_at = time
+
+    def retract(self, client: int, seq: int) -> None:
+        """Remove a not-yet-recovered detection that turned out to be
+        false (the original packet was merely late, e.g. an RMA request
+        raced the data).  Raises if the record was already recovered —
+        a recovered loss was a real loss."""
+        record = self._records.get((client, seq))
+        if record is None:
+            return
+        if record.recovered_at is not None:
+            raise ValueError(
+                f"cannot retract ({client}, {seq}): already recovered"
+            )
+        del self._records[(client, seq)]
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def num_detected(self) -> int:
+        return len(self._records)
+
+    @property
+    def num_recovered(self) -> int:
+        return sum(1 for r in self._records.values() if r.recovered_at is not None)
+
+    @property
+    def num_outstanding(self) -> int:
+        return self.num_detected - self.num_recovered
+
+    def outstanding(self) -> list[tuple[int, int]]:
+        """(client, seq) pairs still unrepaired — should be empty at the
+        end of a fully reliable run."""
+        return sorted(
+            key for key, r in self._records.items() if r.recovered_at is None
+        )
+
+    def latencies(self) -> list[float]:
+        """Detection→recovery delays of all recovered losses."""
+        return [
+            r.recovered_at - r.detected_at
+            for r in self._records.values()
+            if r.recovered_at is not None
+        ]
+
+    def mean_latency(self) -> float:
+        """Average recovery latency per packet recovered (0 if none)."""
+        lat = self.latencies()
+        return sum(lat) / len(lat) if lat else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile over recovered losses (0 if none).
+
+        ``q`` in [0, 100]; nearest-rank method, so ``q=100`` is the
+        worst recovery the session saw — the figure the file-transfer
+        user feels.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        lat = sorted(self.latencies())
+        if not lat:
+            return 0.0
+        rank = max(0, min(len(lat) - 1, int(round(q / 100.0 * (len(lat) - 1)))))
+        return lat[rank]
+
+    def was_lost(self, client: int, seq: int) -> bool:
+        return (client, seq) in self._records
+
+    def per_client_stats(self) -> dict[int, tuple[int, float, float]]:
+        """Per-client ``(losses, mean latency, last recovery time)``.
+
+        The last-recovery time is when the client finally became whole —
+        what a file-transfer user actually experiences.  Clients with no
+        recovered losses report ``(losses, 0.0, 0.0)``.
+        """
+        out: dict[int, tuple[int, float, float]] = {}
+        by_client: dict[int, list[_LossRecord]] = {}
+        for (client, _), record in self._records.items():
+            by_client.setdefault(client, []).append(record)
+        for client, records in by_client.items():
+            recovered = [r for r in records if r.recovered_at is not None]
+            if recovered:
+                mean = sum(r.recovered_at - r.detected_at for r in recovered) / len(
+                    recovered
+                )
+                last = max(r.recovered_at for r in recovered)
+            else:
+                mean, last = 0.0, 0.0
+            out[client] = (len(records), mean, last)
+        return out
+
+    def is_recovered(self, client: int, seq: int) -> bool:
+        record = self._records.get((client, seq))
+        return record is not None and record.recovered_at is not None

@@ -1,0 +1,110 @@
+"""Run-level summaries and cross-seed aggregation.
+
+:func:`summarize_run` reduces one simulation to the two figures'
+quantities plus diagnostics; :func:`aggregate_summaries` averages
+repetitions (different seeds of the same scenario), which the figure
+benches use to smooth topology randomness the same way the paper's
+plotted points do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.collectors import BandwidthLedger, RecoveryLog
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One simulation run, reduced.
+
+    ``avg_latency`` and ``bandwidth_per_recovery`` are the paper's
+    Figure 5/7 and Figure 6/8 quantities.  ``losses_detected`` /
+    ``losses_recovered`` must match at the end of a fully reliable run.
+    """
+
+    protocol: str
+    num_clients: int
+    num_packets: int
+    losses_detected: int
+    losses_recovered: int
+    avg_latency: float
+    p50_latency: float
+    p95_latency: float
+    recovery_hops: int
+    bandwidth_per_recovery: float
+    data_hops: int
+    sim_time: float
+    events_processed: int
+
+    @property
+    def fully_recovered(self) -> bool:
+        return self.losses_detected == self.losses_recovered
+
+
+def summarize_run(
+    protocol: str,
+    num_clients: int,
+    num_packets: int,
+    log: RecoveryLog,
+    ledger: BandwidthLedger,
+    sim_time: float,
+    events_processed: int,
+) -> RunSummary:
+    recovered = log.num_recovered
+    return RunSummary(
+        protocol=protocol,
+        num_clients=num_clients,
+        num_packets=num_packets,
+        losses_detected=log.num_detected,
+        losses_recovered=recovered,
+        avg_latency=log.mean_latency(),
+        p50_latency=log.latency_percentile(50.0),
+        p95_latency=log.latency_percentile(95.0),
+        recovery_hops=ledger.recovery_hops,
+        bandwidth_per_recovery=(
+            ledger.recovery_hops / recovered if recovered else 0.0
+        ),
+        data_hops=ledger.data_hops,
+        sim_time=sim_time,
+        events_processed=events_processed,
+    )
+
+
+@dataclass(frozen=True)
+class AggregateSummary:
+    """Mean of several same-scenario runs (different seeds)."""
+
+    protocol: str
+    num_runs: int
+    mean_clients: float
+    mean_losses: float
+    mean_latency: float
+    mean_bandwidth_per_recovery: float
+    all_fully_recovered: bool
+
+
+def aggregate_summaries(summaries: list[RunSummary]) -> AggregateSummary:
+    """Average repetitions; raises on an empty or mixed-protocol list.
+
+    Latency is averaged *per run* (each run weighted equally, like the
+    paper's per-topology points), not pooled over individual
+    recoveries.
+    """
+    if not summaries:
+        raise ValueError("no summaries to aggregate")
+    protocols = {s.protocol for s in summaries}
+    if len(protocols) != 1:
+        raise ValueError(f"mixed protocols in aggregation: {sorted(protocols)}")
+    n = len(summaries)
+    return AggregateSummary(
+        protocol=summaries[0].protocol,
+        num_runs=n,
+        mean_clients=sum(s.num_clients for s in summaries) / n,
+        mean_losses=sum(s.losses_detected for s in summaries) / n,
+        mean_latency=sum(s.avg_latency for s in summaries) / n,
+        mean_bandwidth_per_recovery=(
+            sum(s.bandwidth_per_recovery for s in summaries) / n
+        ),
+        all_fully_recovered=all(s.fully_recovered for s in summaries),
+    )

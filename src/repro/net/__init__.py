@@ -1,0 +1,58 @@
+"""Network substrate: topology primitives, generators, routing, multicast trees.
+
+This subpackage models the paper's network (section 2): a backbone of
+multicast-capable routers with the source and clients attached, a multicast
+tree that is a spanning subtree of the backbone graph, per-link expected
+delays, and unicast routing along minimum expected round-trip-time paths.
+
+Public entry points
+-------------------
+:class:`~repro.net.topology.Topology`
+    Undirected weighted graph of nodes and links.
+:mod:`repro.net.generators`
+    Seeded random / structured topology generators (the paper's random
+    backbone plus deterministic shapes used by tests and examples).
+:class:`~repro.net.routing.RoutingTable`
+    All-pairs shortest expected-delay unicast routing.
+:class:`~repro.net.mcast_tree.MulticastTree`
+    Rooted spanning subtree with the distance/ancestor queries the RP
+    planner needs (``DS`` hop counts, first common routers, subtrees).
+:func:`~repro.net.ghost.expand_shared_links`
+    Ghost-node rewrite of shared (LAN) links into point-to-point links.
+"""
+
+from repro.net.topology import Link, NodeKind, Topology
+from repro.net.generators import (
+    TopologyConfig,
+    binary_tree_topology,
+    dumbbell_topology,
+    grid_topology,
+    line_topology,
+    random_backbone,
+    star_topology,
+    waxman_backbone,
+)
+from repro.net.render import render_tree
+from repro.net.routing import RoutingTable
+from repro.net.mcast_tree import MulticastTree, random_multicast_tree
+from repro.net.ghost import SharedLink, expand_shared_links
+
+__all__ = [
+    "Link",
+    "NodeKind",
+    "Topology",
+    "TopologyConfig",
+    "random_backbone",
+    "waxman_backbone",
+    "line_topology",
+    "star_topology",
+    "grid_topology",
+    "dumbbell_topology",
+    "binary_tree_topology",
+    "render_tree",
+    "RoutingTable",
+    "MulticastTree",
+    "random_multicast_tree",
+    "SharedLink",
+    "expand_shared_links",
+]

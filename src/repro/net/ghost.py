@@ -1,0 +1,91 @@
+"""Ghost-node rewrite of shared (LAN/broadcast) links.
+
+Section 2.2 / Figure 2 of the paper: the model uses only point-to-point
+links, but "a shared link may be expressed as multiple point-to-point
+links using ghost nodes ... a shared link acts as a multicast capable
+router making copies of the packet using broadcast capacity.  Hence the
+ghost node may be viewed as the shared link itself."
+
+:func:`expand_shared_links` takes a topology plus a description of shared
+links (each a set of attached nodes) and returns a new topology where each
+shared link became a GHOST node with one point-to-point spoke per attached
+node.  Loss on the shared medium maps onto the spokes: a *total* loss
+corresponds to dropping on the upstream spoke, a *partial* loss to
+dropping on the affected downstream spokes — which is exactly what
+independent per-spoke Bernoulli loss produces, so no special casing is
+needed downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.topology import NodeKind, Topology
+
+
+@dataclass(frozen=True)
+class SharedLink:
+    """A broadcast medium attaching several nodes.
+
+    Parameters
+    ----------
+    attached:
+        Node ids on the shared medium (at least 2).
+    delay:
+        Expected delay of a traversal of the medium; split evenly between
+        the two spokes a packet crosses (in → ghost → out), so end-to-end
+        delay through the medium is preserved.
+    loss_prob:
+        Per-traversal loss probability of the medium; applied on each
+        spoke as ``1 - sqrt(1 - loss_prob)`` so a two-spoke crossing has
+        the original loss probability.
+    """
+
+    attached: tuple[int, ...]
+    delay: float
+    loss_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.attached) < 2:
+            raise ValueError("a shared link needs at least two attached nodes")
+        if len(set(self.attached)) != len(self.attached):
+            raise ValueError("duplicate nodes on shared link")
+        if self.delay <= 0:
+            raise ValueError("shared link delay must be positive")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError("loss_prob must be in [0, 1)")
+
+
+def spoke_loss_prob(medium_loss_prob: float) -> float:
+    """Per-spoke loss so that two independent spokes lose with the
+    medium's probability: ``1 - sqrt(1 - p)``."""
+    return 1.0 - (1.0 - medium_loss_prob) ** 0.5
+
+
+def expand_shared_links(
+    topology: Topology, shared: list[SharedLink]
+) -> tuple[Topology, dict[int, int]]:
+    """Rewrite shared links into ghost-node stars.
+
+    Returns the new topology (a fresh object; the input is not mutated)
+    and a mapping ``shared-link index -> ghost node id``.  All original
+    nodes keep their ids; ghost nodes are appended after them.
+    """
+    out = Topology()
+    for kind in topology.node_kinds:
+        out.add_node(kind)
+    for link in topology.links:
+        out.add_link(link.u, link.v, link.delay, link.loss_prob)
+
+    ghost_ids: dict[int, int] = {}
+    for index, medium in enumerate(shared):
+        for node in medium.attached:
+            if not 0 <= node < topology.num_nodes:
+                raise ValueError(f"shared link {index} references unknown node {node}")
+        ghost = out.add_node(NodeKind.GHOST)
+        ghost_ids[index] = ghost
+        per_spoke_delay = medium.delay / 2.0
+        per_spoke_loss = spoke_loss_prob(medium.loss_prob)
+        for node in medium.attached:
+            out.add_link(ghost, node, per_spoke_delay, per_spoke_loss)
+    return out, ghost_ids

@@ -1,0 +1,79 @@
+"""ASCII rendering of multicast trees.
+
+Debugging a recovery protocol usually starts with "what does the tree
+around this client look like?"; :func:`render_tree` draws the rooted
+tree with node roles and depths, optionally annotating a client's
+recovery strategy (its peers get rank markers) so a printed tree shows
+at a glance *where* the planner reached for its candidates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.mcast_tree import MulticastTree
+from repro.net.topology import NodeKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker (core uses net)
+    from repro.core.planner import RecoveryStrategy
+
+_ROLE_TAGS = {
+    NodeKind.SOURCE: "S",
+    NodeKind.CLIENT: "c",
+    NodeKind.ROUTER: "r",
+    NodeKind.GHOST: "g",
+}
+
+
+def render_tree(
+    tree: MulticastTree,
+    strategy: RecoveryStrategy | None = None,
+    max_depth: int | None = None,
+) -> str:
+    """Draw the tree as indented ASCII art.
+
+    Each line shows ``<branch art> <role><id> (link delay)``; when a
+    ``strategy`` is given, its client is tagged ``<= client`` and each
+    strategy peer ``<= peer #k``.  ``max_depth`` truncates deep trees,
+    noting how many nodes were hidden.
+    """
+    annotations: dict[int, str] = {}
+    if strategy is not None:
+        annotations[strategy.client] = "<= client"
+        for rank, node in enumerate(strategy.peer_nodes, start=1):
+            annotations[node] = f"<= peer #{rank}"
+
+    topo = tree.topology
+    lines: list[str] = []
+    hidden = 0
+
+    def label(node: int) -> str:
+        tag = _ROLE_TAGS[topo.kind(node)]
+        text = f"{tag}{node}"
+        parent = tree.parent(node)
+        if parent is not None:
+            text += f" ({topo.link_between(parent, node).delay:g}ms)"
+        note = annotations.get(node)
+        if note:
+            text += f"  {note}"
+        return text
+
+    def walk(node: int, prefix: str, is_last: bool, depth: int) -> None:
+        nonlocal hidden
+        connector = "" if not prefix and depth == 0 else ("`-- " if is_last else "|-- ")
+        lines.append(prefix + connector + label(node))
+        children = tree.children(node)
+        if max_depth is not None and depth >= max_depth and children:
+            hidden += len(tree.subtree_nodes(node)) - 1
+            lines.append(prefix + ("    " if is_last else "|   ") + "...")
+            return
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        if not prefix and depth == 0:
+            child_prefix = ""
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1, depth + 1)
+
+    walk(tree.root, "", True, 0)
+    if hidden:
+        lines.append(f"({hidden} nodes below max_depth hidden)")
+    return "\n".join(lines)

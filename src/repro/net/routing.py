@@ -1,0 +1,142 @@
+"""Unicast routing over expected link delays.
+
+The paper routes unicast packets "along paths that minimize expected value
+of round trip time in the network model" (section 5.1) and estimates the
+round-trip time ``d_i`` between a client and a peer from the routing table
+(section 3.1, the OSPF link-delay argument).  :class:`RoutingTable`
+provides exactly that: single-source Dijkstra over the expected per-link
+delays, computed lazily per source and cached, with deterministic
+tie-breaking (by node id) so repeated runs route identically.
+
+The table answers three questions the rest of the system needs:
+
+* ``delay(u, v)`` — expected one-way delay (the OSPF estimate);
+* ``rtt(u, v)`` — expected round trip time, ``2 * delay`` on the
+  symmetric graphs we model;
+* ``path(u, v)`` / ``next_hop(u, v)`` — the actual forwarding path, used
+  by the packet-level simulator to move unicast packets hop by hop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.net.topology import Topology
+
+
+class RoutingTable:
+    """Lazy all-pairs shortest-delay routing on a :class:`Topology`.
+
+    The topology must not be mutated after the table is constructed;
+    mutation invalidates cached trees silently.  Construct a new table
+    instead.
+    """
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+        # source -> (dist array, predecessor array)
+        self._trees: dict[int, tuple[list[float], list[int]]] = {}
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    # -- internals ----------------------------------------------------------
+
+    def _shortest_path_tree(self, source: int) -> tuple[list[float], list[int]]:
+        """Dijkstra from ``source``; returns (distances, predecessors).
+
+        Ties are broken toward the smaller predecessor id, making the
+        forwarding tree deterministic on equal-cost paths.
+        """
+        cached = self._trees.get(source)
+        if cached is not None:
+            return cached
+        topo = self._topology
+        n = topo.num_nodes
+        if not 0 <= source < n:
+            raise ValueError(f"unknown node {source}")
+        dist = [math.inf] * n
+        pred = [-1] * n
+        dist[source] = 0.0
+        # Heap entries carry the predecessor so equal-cost relaxations
+        # resolve deterministically by (distance, node, predecessor).
+        heap: list[tuple[float, int, int]] = [(0.0, source, -1)]
+        done = [False] * n
+        while heap:
+            d, node, via = heapq.heappop(heap)
+            if done[node]:
+                continue
+            done[node] = True
+            pred[node] = via
+            for neighbor, link_index in topo.incident(node):
+                if done[neighbor]:
+                    continue
+                nd = d + topo.links[link_index].delay
+                if nd < dist[neighbor] or (
+                    nd == dist[neighbor] and node < pred[neighbor]
+                ):
+                    dist[neighbor] = nd
+                    heapq.heappush(heap, (nd, neighbor, node))
+        self._trees[source] = (dist, pred)
+        return dist, pred
+
+    # -- queries --------------------------------------------------------------
+
+    def delay(self, u: int, v: int) -> float:
+        """Expected one-way delay from ``u`` to ``v`` (inf if unreachable)."""
+        return self._shortest_path_tree(u)[0][v]
+
+    def rtt(self, u: int, v: int) -> float:
+        """Expected round-trip time between ``u`` and ``v``.
+
+        The paper takes "over twice the one-way delay"; on our symmetric
+        links the minimum round trip is exactly twice the one-way delay.
+        """
+        return 2.0 * self.delay(u, v)
+
+    def reachable(self, u: int, v: int) -> bool:
+        return math.isfinite(self.delay(u, v))
+
+    def path(self, u: int, v: int) -> list[int]:
+        """Node sequence of the shortest-delay path from ``u`` to ``v``.
+
+        Returns ``[u]`` when ``u == v``.  Raises ``ValueError`` when ``v``
+        is unreachable from ``u``.
+        """
+        dist, pred = self._shortest_path_tree(u)
+        if math.isinf(dist[v]):
+            raise ValueError(f"node {v} unreachable from {u}")
+        reverse = [v]
+        node = v
+        while node != u:
+            node = pred[node]
+            reverse.append(node)
+        reverse.reverse()
+        return reverse
+
+    def next_hop(self, u: int, v: int) -> int:
+        """First hop on the shortest path from ``u`` toward ``v``.
+
+        For efficiency this consults the tree rooted at ``v`` (the hop
+        from ``u`` toward ``v`` is ``u``'s predecessor in ``v``'s tree,
+        by symmetry of the undirected graph), so forwarding a packet
+        through many intermediate routers reuses one cached tree.
+        """
+        if u == v:
+            raise ValueError("next_hop undefined for u == v")
+        dist, pred = self._shortest_path_tree(v)
+        if math.isinf(dist[u]):
+            raise ValueError(f"node {v} unreachable from {u}")
+        return pred[u]
+
+    def hop_count(self, u: int, v: int) -> int:
+        """Number of links on the shortest-delay path from ``u`` to ``v``."""
+        return len(self.path(u, v)) - 1
+
+    def eccentricity(self, u: int) -> float:
+        """Largest finite shortest-path delay from ``u`` to any node."""
+        dist, _ = self._shortest_path_tree(u)
+        finite = [d for d in dist if math.isfinite(d)]
+        return max(finite) if finite else 0.0

@@ -1,0 +1,294 @@
+"""RP protocol runtime — executing the planner's prioritized lists.
+
+Section 2.2 of the paper, operationally: when client ``u`` detects a
+loss it unicasts a REQUEST to ``v_1`` from its prioritized list; if no
+REPAIR arrives within the attempt's timeout it tries ``v_2``, and so on;
+after the list is exhausted it requests the source, which "will
+multicast the packet to all members of the subgroup (using the original
+multicast tree) from where the recovery request came".  Subgroups are
+the subtrees hanging off each child of the source
+(:meth:`~repro.net.mcast_tree.MulticastTree.top_level_subgroup`).
+
+Peers that receive a REQUEST for a packet they hold unicast the REPAIR
+straight back; peers that miss it too stay silent and let the
+requester's timer expire (the paper's failure-detection-by-timeout).
+Requests to the source are retried forever (with the source timeout),
+so the protocol is fully reliable even when requests or repairs are
+themselves lost — a case the paper's analysis ignores but its (and our)
+simulations exercise at up to 20% per-link loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.planner import RecoveryStrategy, RPPlanner
+from repro.core.objective import AttemptCostEstimator
+from repro.core.strategy_graph import StrategyRestrictions
+from repro.core.timeouts import TimeoutPolicy
+from repro.metrics.collectors import RecoveryLog
+from repro.protocols.base import (
+    ClientAgent,
+    CompletionTracker,
+    ProtocolFactory,
+    RepairDeduper,
+    SourceAgentBase,
+)
+from repro.sim.engine import Timer
+from repro.sim.network import SimNetwork
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class RPConfig:
+    """RP runtime knobs.
+
+    Parameters
+    ----------
+    timeout_policy / estimator / restrictions:
+        Forwarded to :class:`~repro.core.planner.RPPlanner`; ``None``
+        picks the planner defaults (proportional timeouts, the paper's
+        blend estimator, no restrictions).
+    source_multicast:
+        When True (the paper's design) the source repairs by
+        multicasting to the requester's top-level subgroup; when False
+        it unicasts to the requester only — an ablation isolating the
+        subgroup mechanism's bandwidth/latency contribution.
+    negative_acks:
+        Beyond-paper extension: a peer that lacks the requested packet
+        replies with a unicast "don't have" (NACK) instead of staying
+        silent, so the requester advances after one round trip instead
+        of a full timeout.  When enabled and no estimator is given, the
+        planner automatically uses the RTT-only estimator — with NACKs
+        a failed attempt costs the round trip, not ``t0``, so eq. (1)'s
+        blend would mis-model the protocol.
+    subgrouping:
+        Factory ``tree -> SubgroupingStrategy`` controlling which
+        subtree the source repairs into (section 2.2's "grouping clients
+        in a net neighborhood"; the authors' [4]).  ``None`` uses the
+        coarse one-subgroup-per-source-child default.
+    """
+
+    timeout_policy: TimeoutPolicy | None = None
+    estimator: AttemptCostEstimator | None = None
+    restrictions: StrategyRestrictions | None = None
+    source_multicast: bool = True
+    negative_acks: bool = False
+    subgrouping: "Callable[..., object] | None" = None
+
+
+class _PendingRecovery:
+    """State machine for one in-progress loss recovery."""
+
+    __slots__ = ("seq", "attempt_index", "timer", "req_id")
+
+    def __init__(self, seq: int):
+        self.seq = seq
+        self.attempt_index = 0
+        self.timer: Timer | None = None
+        self.req_id = -1
+
+
+class RPClientAgent(ClientAgent):
+    """A client executing its prioritized recovery list."""
+
+    def __init__(
+        self,
+        node: int,
+        network: SimNetwork,
+        log: RecoveryLog,
+        tracker: CompletionTracker,
+        num_packets: int,
+        strategy: RecoveryStrategy,
+        negative_acks: bool = False,
+    ):
+        super().__init__(node, network, log, tracker, num_packets)
+        self.strategy = strategy
+        self.negative_acks = negative_acks
+        self._pending: dict[int, _PendingRecovery] = {}
+        self._req_counter = 0
+
+    # -- recovery state machine ------------------------------------------
+
+    def on_loss_detected(self, seq: int) -> None:
+        pending = _PendingRecovery(seq)
+        self._pending[seq] = pending
+        self._send_next_request(pending)
+
+    def _send_next_request(self, pending: _PendingRecovery) -> None:
+        attempts = self.strategy.attempts
+        index = pending.attempt_index
+        self._req_counter += 1
+        pending.req_id = self._req_counter
+        request = Packet(
+            PacketKind.REQUEST,
+            pending.seq,
+            origin=self.node,
+            req_id=self._req_counter,
+        )
+        if index < len(attempts):
+            peer = attempts[index].node
+            timeout = self.strategy.timeouts[index]
+            self.network.send_unicast(self.node, peer, request)
+        else:
+            # Source fallback; retried on timeout forever.
+            peer = self.network.tree.root
+            timeout = self.strategy.source_timeout
+            self.network.send_unicast(self.node, peer, request)
+        pending.timer = self.network.events.schedule(
+            timeout, lambda: self._on_timeout(pending)
+        )
+
+    def _on_timeout(self, pending: _PendingRecovery) -> None:
+        if pending.seq not in self._pending:
+            return  # already recovered; timer raced with teardown
+        if pending.attempt_index < len(self.strategy.attempts):
+            pending.attempt_index += 1
+        # else: stay on the source and retry it.
+        self._send_next_request(pending)
+
+    def on_recovered(self, seq: int) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
+    # -- serving peers ------------------------------------------------------
+
+    def on_protocol_packet(self, packet: Packet) -> None:
+        if packet.kind is PacketKind.NACK:
+            self._on_negative_ack(packet)
+            return
+        if packet.kind is not PacketKind.REQUEST:
+            return
+        if self.has(packet.seq):
+            repair = Packet(
+                PacketKind.REPAIR,
+                packet.seq,
+                origin=self.node,
+                req_id=packet.req_id,
+            )
+            self.network.send_unicast(self.node, packet.origin, repair)
+        elif self.negative_acks:
+            # "Don't have": let the requester advance without a timeout.
+            nack = Packet(
+                PacketKind.NACK,
+                packet.seq,
+                origin=self.node,
+                req_id=packet.req_id,
+            )
+            self.network.send_unicast(self.node, packet.origin, nack)
+        # Without NACKs: stay silent; the requester's timer expires.
+
+    def _on_negative_ack(self, packet: Packet) -> None:
+        """A peer told us it lacks the packet — advance immediately."""
+        pending = self._pending.get(packet.seq)
+        if pending is None or packet.req_id != pending.req_id:
+            return  # stale reply from an already-advanced attempt
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if pending.attempt_index < len(self.strategy.attempts):
+            pending.attempt_index += 1
+        self._send_next_request(pending)
+
+
+class RPSourceAgent(SourceAgentBase):
+    """The source: subgroup-multicasts (or unicasts) repairs on request.
+
+    Subgroup repairs are deduplicated: a burst of requests for one
+    sequence (typical after a near-root loss) triggers a single subtree
+    multicast, not one per requester (see
+    :class:`~repro.protocols.base.RepairDeduper`).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        network: SimNetwork,
+        source_multicast: bool,
+        subgrouping=None,
+    ):
+        super().__init__(node, network)
+        self.source_multicast = source_multicast
+        self._deduper = RepairDeduper(network.tree)
+        if subgrouping is None:
+            from repro.core.subgroups import TopLevelSubgrouping
+
+            subgrouping = TopLevelSubgrouping(network.tree)
+        self.subgrouping = subgrouping
+
+    def on_request(self, packet: Packet) -> None:
+        if not self.has(packet.seq):
+            return  # request for data not yet sent; requester will retry
+        repair = Packet(
+            PacketKind.REPAIR, packet.seq, origin=self.node, req_id=packet.req_id
+        )
+        if self.source_multicast:
+            subgroup = self.subgrouping.subgroup_root(packet.origin)
+            if self._deduper.should_repair(
+                packet.seq, subgroup, self.network.events.now
+            ):
+                self.network.multicast_subtree(self.node, subgroup, repair)
+            else:
+                # A subtree repair is already in flight; still answer this
+                # requester directly (its copy of the flood may be lost).
+                self.network.send_unicast(self.node, packet.origin, repair)
+        else:
+            self.network.send_unicast(self.node, packet.origin, repair)
+
+
+class RPProtocolFactory(ProtocolFactory):
+    """Plans strategies for every client and installs the RP agents."""
+
+    name = "RP"
+
+    def __init__(self, config: RPConfig | None = None):
+        self.config = config or RPConfig()
+
+    def install(
+        self,
+        network: SimNetwork,
+        log: RecoveryLog,
+        tracker: CompletionTracker,
+        streams: RngStreams,
+        num_packets: int,
+    ) -> SourceAgentBase:
+        estimator = self.config.estimator
+        if estimator is None and self.config.negative_acks:
+            # With "don't have" replies a failed attempt costs one
+            # round trip, so plan with the RTT-only estimator.
+            from repro.core.objective import RttOnlyEstimator
+
+            estimator = RttOnlyEstimator()
+        planner = RPPlanner(
+            network.tree,
+            network.routing,
+            timeout_policy=self.config.timeout_policy,
+            estimator=estimator,
+            restrictions=self.config.restrictions,
+        )
+        for client in network.tree.clients:
+            agent = RPClientAgent(
+                client,
+                network,
+                log,
+                tracker,
+                num_packets,
+                strategy=planner.plan(client),
+                negative_acks=self.config.negative_acks,
+            )
+            network.attach_agent(client, agent)
+        subgrouping = (
+            self.config.subgrouping(network.tree)
+            if self.config.subgrouping is not None
+            else None
+        )
+        source = RPSourceAgent(
+            network.tree.root,
+            network,
+            self.config.source_multicast,
+            subgrouping=subgrouping,
+        )
+        network.attach_agent(source.node, source)
+        return source

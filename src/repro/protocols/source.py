@@ -1,0 +1,122 @@
+"""Source-based recovery baseline.
+
+The paper's first taxonomy category (section 1): "the source exclusively
+retransmits all the lost packets to the requesting receivers.  This
+mechanism guarantees that one recovery attempt is enough for each
+request" — at the cost of concentrating all recovery load and latency at
+the source.  Not part of the paper's figure comparison (its simulations
+compare RP/SRM/RMA), but a useful reference point the examples and
+extension benches use.
+
+Two repair modes:
+
+* unicast (default) — the source unicasts the repair to the requester;
+* subgroup multicast — the source multicasts to the requester's
+  top-level subgroup, the static-subgrouping idea of the authors' prior
+  work ([4] in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timeouts import ProportionalTimeout, TimeoutPolicy
+from repro.metrics.collectors import RecoveryLog
+from repro.protocols.base import (
+    ClientAgent,
+    CompletionTracker,
+    ProtocolFactory,
+    SourceAgentBase,
+)
+from repro.sim.engine import Timer
+from repro.sim.network import SimNetwork
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class SourceConfig:
+    timeout_policy: TimeoutPolicy | None = None
+    subgroup_multicast: bool = False
+
+
+class SourceRecoveryClientAgent(ClientAgent):
+    def __init__(
+        self,
+        node: int,
+        network: SimNetwork,
+        log: RecoveryLog,
+        tracker: CompletionTracker,
+        num_packets: int,
+        timeout_policy: TimeoutPolicy,
+    ):
+        super().__init__(node, network, log, tracker, num_packets)
+        self._timeout = timeout_policy.timeout(
+            network.routing.rtt(node, network.tree.root)
+        )
+        self._timers: dict[int, Timer] = {}
+
+    def on_loss_detected(self, seq: int) -> None:
+        self._request(seq)
+
+    def _request(self, seq: int) -> None:
+        self.network.send_unicast(
+            self.node,
+            self.network.tree.root,
+            Packet(PacketKind.REQUEST, seq, origin=self.node),
+        )
+        self._timers[seq] = self.network.events.schedule(
+            self._timeout, lambda: self._on_timeout(seq)
+        )
+
+    def _on_timeout(self, seq: int) -> None:
+        if seq in self._timers:
+            self._request(seq)  # retry until repaired
+
+    def on_recovered(self, seq: int) -> None:
+        timer = self._timers.pop(seq, None)
+        if timer is not None:
+            timer.cancel()
+
+
+class SourceRecoverySourceAgent(SourceAgentBase):
+    def __init__(self, node: int, network: SimNetwork, subgroup_multicast: bool):
+        super().__init__(node, network)
+        self.subgroup_multicast = subgroup_multicast
+
+    def on_request(self, packet: Packet) -> None:
+        if not self.has(packet.seq):
+            return
+        repair = Packet(PacketKind.REPAIR, packet.seq, origin=self.node)
+        if self.subgroup_multicast:
+            subgroup = self.network.tree.top_level_subgroup(packet.origin)
+            self.network.multicast_subtree(self.node, subgroup, repair)
+        else:
+            self.network.send_unicast(self.node, packet.origin, repair)
+
+
+class SourceProtocolFactory(ProtocolFactory):
+    name = "SOURCE"
+
+    def __init__(self, config: SourceConfig | None = None):
+        self.config = config or SourceConfig()
+
+    def install(
+        self,
+        network: SimNetwork,
+        log: RecoveryLog,
+        tracker: CompletionTracker,
+        streams: RngStreams,
+        num_packets: int,
+    ) -> SourceAgentBase:
+        policy = self.config.timeout_policy or ProportionalTimeout()
+        for client in network.tree.clients:
+            agent = SourceRecoveryClientAgent(
+                client, network, log, tracker, num_packets, policy
+            )
+            network.attach_agent(client, agent)
+        source = SourceRecoverySourceAgent(
+            network.tree.root, network, self.config.subgroup_multicast
+        )
+        network.attach_agent(source.node, source)
+        return source

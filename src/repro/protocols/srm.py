@@ -1,0 +1,267 @@
+"""SRM baseline — Scalable Reliable Multicast (Floyd et al., 1997).
+
+The mechanism as the paper summarizes it (section 1): a receiver that
+lost packet ``P`` sets a *request-suppression* timer; when it expires
+without having heard anyone else's request for ``P``, the receiver
+multicasts its request (NACK) to the whole group.  Any member holding
+``P`` that hears the NACK sets a *repair-suppression* timer; when it
+expires without having heard a repair, the member multicasts the repair.
+"The timers effectively reduce the number of duplicate NACKs and repairs
+... however, these timers also increase the recovery latency.
+Furthermore, multicasting NACKs/repairs adds unnecessary load on routers
+and significantly increases the bandwidth being used."
+
+Timer distributions follow the SRM paper: a request fires uniformly in
+``[C1·d_S, (C1+C2)·d_S]`` scaled by ``2^backoff`` (``d_S`` = one-way
+delay estimate to the source), and a repair uniformly in
+``[D1·d_A, (D1+D2)·d_A]`` (``d_A`` = delay to the NACK's origin).
+Hearing another NACK for the same packet backs the request timer off;
+hearing a repair cancels pending repair timers (suppression).  Requests
+re-arm after each NACK so a lost repair is eventually re-requested —
+full reliability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.collectors import RecoveryLog
+from repro.protocols.base import (
+    ClientAgent,
+    CompletionTracker,
+    ProtocolFactory,
+    SourceAgentBase,
+)
+from repro.sim.engine import Timer
+from repro.sim.network import SimNetwork
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class SRMConfig:
+    """SRM timer constants.
+
+    ``c1``/``c2`` shape the request timer, ``d1``/``d2`` the repair
+    timer (the classic defaults are 2, 2, 1, 1).  ``repair_hold_factor``
+    scales the post-repair quiet period (in units of the responder's
+    distance to the requester) during which it will not schedule another
+    repair for the same packet.  ``max_backoff`` caps the exponential
+    request backoff so timers stay finite.
+    """
+
+    c1: float = 2.0
+    c2: float = 2.0
+    d1: float = 1.0
+    d2: float = 1.0
+    repair_hold_factor: float = 3.0
+    max_backoff: int = 8
+
+    def __post_init__(self) -> None:
+        if min(self.c1, self.c2, self.d1, self.d2) < 0:
+            raise ValueError("timer constants must be non-negative")
+        if self.c1 + self.c2 <= 0:
+            raise ValueError("request timer window must be positive")
+        if self.repair_hold_factor < 0:
+            raise ValueError("repair_hold_factor must be >= 0")
+        if self.max_backoff < 0:
+            raise ValueError("max_backoff must be >= 0")
+
+
+class _SRMRepairLogic:
+    """Repair-side behaviour shared by members and the source."""
+
+    def __init__(
+        self,
+        node: int,
+        network: SimNetwork,
+        config: SRMConfig,
+        rng: np.random.Generator,
+    ):
+        self._srm_node = node
+        self._srm_network = network
+        self._srm_config = config
+        self._srm_rng = rng
+        self._repair_timers: dict[int, Timer] = {}
+        self._repair_hold_until: dict[int, float] = {}
+
+    def _maybe_schedule_repair(self, seq: int, requester: int) -> None:
+        now = self._srm_network.events.now
+        if seq in self._repair_timers:
+            return
+        if self._repair_hold_until.get(seq, -1.0) > now:
+            return
+        cfg = self._srm_config
+        d_a = self._srm_network.routing.delay(self._srm_node, requester)
+        low, high = cfg.d1 * d_a, (cfg.d1 + cfg.d2) * d_a
+        delay = float(self._srm_rng.uniform(low, high)) if high > low else low
+        self._repair_timers[seq] = self._srm_network.events.schedule(
+            delay, lambda: self._fire_repair(seq, requester)
+        )
+
+    def _fire_repair(self, seq: int, requester: int) -> None:
+        self._repair_timers.pop(seq, None)
+        cfg = self._srm_config
+        d_a = self._srm_network.routing.delay(self._srm_node, requester)
+        self._repair_hold_until[seq] = (
+            self._srm_network.events.now + cfg.repair_hold_factor * d_a
+        )
+        self._srm_network.flood_tree(
+            self._srm_node,
+            Packet(PacketKind.REPAIR, seq, origin=self._srm_node),
+        )
+
+    def _suppress_repair(self, seq: int) -> None:
+        timer = self._repair_timers.pop(seq, None)
+        if timer is not None:
+            timer.cancel()
+        # Seeing someone else's repair also starts our hold period:
+        # without it we might respond to a retransmitted NACK that the
+        # just-seen repair is already answering.
+        d_s = self._srm_network.routing.delay(
+            self._srm_node, self._srm_network.tree.root
+        )
+        self._repair_hold_until[seq] = (
+            self._srm_network.events.now
+            + self._srm_config.repair_hold_factor * max(d_s, 1.0)
+        )
+
+
+class _PendingRequest:
+    __slots__ = ("seq", "backoff", "timer")
+
+    def __init__(self, seq: int):
+        self.seq = seq
+        self.backoff = 0
+        self.timer: Timer | None = None
+
+
+class SRMClientAgent(ClientAgent, _SRMRepairLogic):
+    """A group member running SRM."""
+
+    def __init__(
+        self,
+        node: int,
+        network: SimNetwork,
+        log: RecoveryLog,
+        tracker: CompletionTracker,
+        num_packets: int,
+        config: SRMConfig,
+        rng: np.random.Generator,
+    ):
+        ClientAgent.__init__(self, node, network, log, tracker, num_packets)
+        _SRMRepairLogic.__init__(self, node, network, config, rng)
+        self.config = config
+        self._rng = rng
+        self._d_source = network.routing.delay(node, network.tree.root)
+        self._requests: dict[int, _PendingRequest] = {}
+
+    # -- request side -------------------------------------------------------
+
+    def _request_delay(self, backoff: int) -> float:
+        cfg = self.config
+        scale = 2.0 ** min(backoff, cfg.max_backoff)
+        low = cfg.c1 * self._d_source * scale
+        high = (cfg.c1 + cfg.c2) * self._d_source * scale
+        return float(self._rng.uniform(low, high)) if high > low else low
+
+    def _arm_request(self, pending: _PendingRequest) -> None:
+        if pending.timer is not None:
+            pending.timer.cancel()
+        pending.timer = self.network.events.schedule(
+            self._request_delay(pending.backoff),
+            lambda: self._fire_request(pending),
+        )
+
+    def _fire_request(self, pending: _PendingRequest) -> None:
+        if pending.seq not in self._requests:
+            return
+        self.network.flood_tree(
+            self.node, Packet(PacketKind.NACK, pending.seq, origin=self.node)
+        )
+        # Wait (with backoff) for the repair; if it is lost, NACK again.
+        pending.backoff += 1
+        self._arm_request(pending)
+
+    def on_loss_detected(self, seq: int) -> None:
+        pending = _PendingRequest(seq)
+        self._requests[seq] = pending
+        self._arm_request(pending)
+
+    def on_recovered(self, seq: int) -> None:
+        pending = self._requests.pop(seq, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
+    # -- overheard traffic ---------------------------------------------------
+
+    def on_protocol_packet(self, packet: Packet) -> None:
+        if packet.kind is not PacketKind.NACK:
+            return
+        seq = packet.seq
+        pending = self._requests.get(seq)
+        if pending is not None:
+            # Someone else asked first: suppress and back off.
+            pending.backoff += 1
+            self._arm_request(pending)
+        elif self.has(seq):
+            self._maybe_schedule_repair(seq, packet.origin)
+
+    def on_packet(self, packet: Packet) -> None:
+        if packet.kind is PacketKind.REPAIR:
+            self._suppress_repair(packet.seq)
+        super().on_packet(packet)
+
+
+class SRMSourceAgent(SourceAgentBase, _SRMRepairLogic):
+    """The source is just a member that always has the data."""
+
+    def __init__(
+        self,
+        node: int,
+        network: SimNetwork,
+        config: SRMConfig,
+        rng: np.random.Generator,
+    ):
+        SourceAgentBase.__init__(self, node, network)
+        _SRMRepairLogic.__init__(self, node, network, config, rng)
+
+    def on_request(self, packet: Packet) -> None:
+        # SRM has no unicast requests; treat defensively as a NACK.
+        self.on_nack(packet)
+
+    def on_nack(self, packet: Packet) -> None:
+        if self.has(packet.seq):
+            self._maybe_schedule_repair(packet.seq, packet.origin)
+
+    def on_packet(self, packet: Packet) -> None:
+        if packet.kind is PacketKind.REPAIR:
+            self._suppress_repair(packet.seq)
+        super().on_packet(packet)
+
+
+class SRMProtocolFactory(ProtocolFactory):
+    name = "SRM"
+
+    def __init__(self, config: SRMConfig | None = None):
+        self.config = config or SRMConfig()
+
+    def install(
+        self,
+        network: SimNetwork,
+        log: RecoveryLog,
+        tracker: CompletionTracker,
+        streams: RngStreams,
+        num_packets: int,
+    ) -> SourceAgentBase:
+        rng = streams.get("srm-timers")
+        for client in network.tree.clients:
+            agent = SRMClientAgent(
+                client, network, log, tracker, num_packets, self.config, rng
+            )
+            network.attach_agent(client, agent)
+        source = SRMSourceAgent(network.tree.root, network, self.config, rng)
+        network.attach_agent(source.node, source)
+        return source

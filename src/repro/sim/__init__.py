@@ -1,0 +1,36 @@
+"""Discrete-event packet-level simulation substrate.
+
+The paper evaluates with "a discrete event packet level simulator"
+(section 5.1); this subpackage is that simulator, rebuilt from the
+paper's description:
+
+* :mod:`repro.sim.engine` — the event calendar: a binary-heap scheduler
+  with deterministic FIFO tie-breaking and cancellable timers;
+* :mod:`repro.sim.packet` — packet records (DATA, REQUEST, NACK,
+  REPAIR, SESSION) with hop accounting;
+* :mod:`repro.sim.network` — the packet-level network: unicast
+  forwarding along routed paths, multicast down tree subtrees, flooding
+  over the whole tree, per-link Bernoulli loss and fixed expected
+  delays (link behaviour is load-independent, as the paper states);
+* :mod:`repro.sim.rng` — named, independently-seeded random streams so
+  topology, loss and protocol timers never share entropy.
+"""
+
+from repro.sim.engine import EventQueue, Timer
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.network import SimNetwork
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceEvent, TraceFilter, TraceKind, TraceRecorder
+
+__all__ = [
+    "EventQueue",
+    "Timer",
+    "Packet",
+    "PacketKind",
+    "SimNetwork",
+    "RngStreams",
+    "TraceEvent",
+    "TraceFilter",
+    "TraceKind",
+    "TraceRecorder",
+]

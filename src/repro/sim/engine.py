@@ -1,0 +1,140 @@
+"""Event calendar for the discrete-event simulator.
+
+A classic binary-heap future-event list.  Three properties matter for a
+reproducible network simulation and are guaranteed here:
+
+* **Monotonic time** — events fire in non-decreasing timestamp order;
+  scheduling into the past raises immediately rather than corrupting
+  causality.
+* **Deterministic ties** — events with equal timestamps fire in the
+  order they were scheduled (a monotone sequence number breaks heap
+  ties), so two runs with the same seeds replay identically.
+* **O(1) cancellation** — timers are cancelled lazily by flagging; the
+  heap entry is discarded when popped.  Protocol code cancels far more
+  timers than it lets expire (every suppressed SRM request, every
+  repaired RP timeout), so cancellation must be cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class Timer:
+    """Handle for a scheduled event; supports cancellation."""
+
+    __slots__ = ("time", "callback", "cancelled", "seq")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], Any]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; idempotent."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventQueue:
+    """The simulator clock and future-event list."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[Timer] = []
+        self._seq = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (milliseconds by convention)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for t in self._heap if not t.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total events executed so far (cancelled ones excluded)."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Timer:
+        """Run ``callback`` after ``delay`` time units; returns its timer."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> Timer:
+        """Run ``callback`` at absolute ``time``; returns its timer."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        timer = Timer(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._heap:
+            timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = timer.time
+            self._processed += 1
+            timer.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> None:
+        """Drain the event list.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this time (the
+            clock is still advanced to ``until``).
+        max_events:
+            Safety valve against runaway protocols; raises
+            ``RuntimeError`` when exceeded.
+        stop_when:
+            Checked after every event; return True to stop early (e.g.
+            "all clients fully recovered").
+        """
+        executed = 0
+        while self._heap:
+            # Peek past cancelled entries.
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap:
+                break
+            if until is not None and self._heap[0].time > until:
+                self._now = until
+                return
+            if not self.step():
+                break
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise RuntimeError(
+                    f"event budget exceeded ({max_events} events) at t={self._now}"
+                )
+            if stop_when is not None and stop_when():
+                return
+        if until is not None and until > self._now:
+            self._now = until

@@ -1,0 +1,252 @@
+"""Packet-level network simulation.
+
+Wires a :class:`~repro.net.topology.Topology`, its
+:class:`~repro.net.routing.RoutingTable` and a
+:class:`~repro.net.mcast_tree.MulticastTree` onto the event calendar.
+Three transmission primitives cover everything the protocols need:
+
+* :meth:`SimNetwork.send_unicast` — hop-by-hop along the minimum
+  expected-RTT route (how the paper routes unicast, section 5.1);
+* :meth:`SimNetwork.multicast_subtree` — a repair travelling up/over to
+  a tree node and then copied down its subtree along tree links (RMA
+  repairs, RP's source-subgroup fallback, the original data stream);
+* :meth:`SimNetwork.flood_tree` — any-source group multicast: the
+  packet spreads over every tree link outward from the originating
+  member (SRM NACKs and repairs).
+
+Each link traversal *attempt* draws an independent Bernoulli loss and
+charges one hop to the bandwidth ledger — a transmitted-then-dropped
+packet still consumed the link.  Link delay and loss are independent of
+traffic volume; the paper points out this favors the chattier protocols
+(SRM, then RMA), and we preserve that bias for fidelity.
+
+Agents (protocol endpoints) register per node; intermediate routers
+forward without an agent.  Deliveries never happen synchronously inside
+the sender's call — everything is mediated by the event queue, so
+protocol code observes a consistent clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+import numpy as np
+
+from repro.net.mcast_tree import MulticastTree
+from repro.net.routing import RoutingTable
+from repro.net.topology import Link, Topology
+from repro.sim.engine import EventQueue
+from repro.sim.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker
+    from repro.metrics.collectors import BandwidthLedger
+
+
+class Agent(Protocol):
+    """Protocol endpoint attached to a node."""
+
+    def on_packet(self, packet: Packet) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class SimNetwork:
+    """The simulated network: forwarding, loss, delay, accounting."""
+
+    def __init__(
+        self,
+        events: EventQueue,
+        topology: Topology,
+        routing: RoutingTable,
+        tree: MulticastTree,
+        loss_rng: np.random.Generator,
+        ledger: "BandwidthLedger | None" = None,
+        data_loss_rng: np.random.Generator | None = None,
+        lossless_recovery: bool = False,
+        jitter: float = 0.0,
+        jitter_rng: np.random.Generator | None = None,
+        congestion: "object | None" = None,
+    ):
+        # Imported here, not at module level: metrics.collectors imports
+        # sim.packet, so a module-level import would be circular.
+        from repro.metrics.collectors import BandwidthLedger
+
+        if routing.topology is not topology or tree.topology is not topology:
+            raise ValueError("topology, routing and tree must be consistent")
+        self.events = events
+        self.topology = topology
+        self.routing = routing
+        self.tree = tree
+        self._loss_rng = loss_rng
+        # DATA packets may draw from their own stream so that protocols
+        # compared on one seed face the *identical* original-loss
+        # pattern (recovery traffic still uses per-protocol entropy).
+        self._data_loss_rng = data_loss_rng if data_loss_rng is not None else loss_rng
+        # The paper's simulator ignores loss of requests and repairs
+        # (section 3.1: "the probability that the request or the repair
+        # is lost is ignored"; Figure 7's flat latency curves up to
+        # p=20% are only consistent with that).  With
+        # ``lossless_recovery`` only DATA/SESSION packets face loss.
+        self._lossless_recovery = lossless_recovery
+        # Optional per-transmission delay jitter: the actual delay of a
+        # traversal is uniform in [d(1-j), d(1+j)].  The paper fixes the
+        # expected delay per link; jitter is a beyond-paper realism knob
+        # (it introduces reordering, which gap detection must tolerate).
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if jitter > 0.0 and jitter_rng is None:
+            raise ValueError("jitter > 0 requires a jitter_rng")
+        self._jitter = jitter
+        self._jitter_rng = jitter_rng
+        # Optional load-dependent delays (LinearCongestionModel); None
+        # keeps the paper's load-independent links.
+        self._congestion = congestion
+        self.ledger = ledger if ledger is not None else BandwidthLedger()
+        self._agents: dict[int, Agent] = {}
+
+    # -- agents ----------------------------------------------------------
+
+    def attach_agent(self, node: int, agent: Agent) -> None:
+        if node in self._agents:
+            raise ValueError(f"node {node} already has an agent")
+        if not 0 <= node < self.topology.num_nodes:
+            raise ValueError(f"unknown node {node}")
+        self._agents[node] = agent
+
+    def agent_at(self, node: int) -> Agent | None:
+        return self._agents.get(node)
+
+    def _deliver(self, node: int, packet: Packet) -> None:
+        agent = self._agents.get(node)
+        if agent is not None:
+            agent.on_packet(packet)
+
+    # -- link-level primitive ------------------------------------------------
+
+    def _transmit(
+        self,
+        link: Link,
+        to_node: int,
+        packet: Packet,
+        on_arrival: Callable[[], None],
+    ) -> None:
+        """Put ``packet`` on ``link`` toward ``to_node``.
+
+        Charges the hop, draws the loss, and schedules ``on_arrival``
+        after the link delay when the packet survives.
+        """
+        self.ledger.charge_hop(packet.kind)
+        lossy = link.loss_prob > 0.0 and not (
+            self._lossless_recovery and packet.is_recovery_traffic
+        )
+        rng = self._data_loss_rng if packet.kind is PacketKind.DATA else self._loss_rng
+        if lossy and rng.random() < link.loss_prob:
+            self.ledger.charge_drop(packet.kind)
+            return
+        delay = link.delay
+        if self._jitter > 0.0:
+            assert self._jitter_rng is not None
+            delay *= 1.0 + self._jitter * (2.0 * self._jitter_rng.random() - 1.0)
+        if self._congestion is not None:
+            key = (link.u, link.v)
+            concurrent = self._congestion.begin(key)
+            delay = self._congestion.effective_delay(delay, concurrent)
+            congestion = self._congestion
+
+            def arrive_and_release() -> None:
+                congestion.end(key)
+                on_arrival()
+
+            self.events.schedule(delay, arrive_and_release)
+            return
+        self.events.schedule(delay, on_arrival)
+
+    # -- unicast ---------------------------------------------------------------
+
+    def send_unicast(self, src: int, dst: int, packet: Packet) -> None:
+        """Send ``packet`` from ``src`` to ``dst`` along the routed path.
+
+        Delivery (if the packet survives every hop) invokes the
+        destination agent; intermediate nodes just forward.  ``src ==
+        dst`` delivers locally on the next event tick (zero hops).
+        """
+        if src == dst:
+            self.events.schedule(0.0, lambda: self._deliver(dst, packet))
+            return
+        path = self.routing.path(src, dst)
+
+        def hop(index: int) -> None:
+            if index == len(path) - 1:
+                self._deliver(path[index], packet)
+                return
+            link = self.topology.link_between(path[index], path[index + 1])
+            self._transmit(link, path[index + 1], packet, lambda: hop(index + 1))
+
+        hop(0)
+
+    # -- tree multicast -----------------------------------------------------------
+
+    def multicast_subtree(
+        self, src: int, subtree_root: int, packet: Packet
+    ) -> None:
+        """Carry ``packet`` from ``src`` to ``subtree_root`` along the
+        tree path, then copy it down the whole subtree.
+
+        Both legs use tree links (this is multicast infrastructure, not
+        unicast routing).  Members along the way — including
+        ``subtree_root`` and the nodes on the access leg — receive the
+        packet; the originator does not self-deliver.
+        """
+        if not self.tree.contains(src) or not self.tree.contains(subtree_root):
+            raise ValueError("multicast endpoints must be tree members")
+
+        def down(node: int) -> None:
+            for child in self.tree.children(node):
+                link = self.topology.link_between(node, child)
+
+                def arrive(child: int = child) -> None:
+                    self._deliver(child, packet)
+                    down(child)
+
+                self._transmit(link, child, packet, arrive)
+
+        if src == subtree_root:
+            down(src)
+            return
+
+        access_path = self.tree.tree_path(src, subtree_root)
+
+        def hop(index: int) -> None:
+            node = access_path[index]
+            if index == len(access_path) - 1:
+                self._deliver(node, packet)
+                down(node)
+                return
+            nxt = access_path[index + 1]
+            link = self.topology.link_between(node, nxt)
+            self._transmit(link, nxt, packet, lambda: hop(index + 1))
+
+        hop(0)
+
+    def flood_tree(self, src: int, packet: Packet) -> None:
+        """Any-source group multicast: spread over every tree link
+        outward from ``src``, delivering to every member reached."""
+        if not self.tree.contains(src):
+            raise ValueError(f"flood origin {src} is not a tree member")
+
+        def spread(node: int, came_from: int) -> None:
+            neighbors = list(self.tree.children(node))
+            parent = self.tree.parent(node)
+            if parent is not None:
+                neighbors.append(parent)
+            for neighbor in neighbors:
+                if neighbor == came_from:
+                    continue
+                link = self.topology.link_between(node, neighbor)
+
+                def arrive(neighbor: int = neighbor, node: int = node) -> None:
+                    self._deliver(neighbor, packet)
+                    spread(neighbor, node)
+
+                self._transmit(link, neighbor, packet, arrive)
+
+        spread(src, -1)

@@ -1,0 +1,61 @@
+"""Packet records.
+
+Packets are small immutable records.  Every concrete transmission
+(unicast leg, multicast copy, flood copy) accounts its own hops into the
+owning :class:`~repro.metrics.collectors.BandwidthLedger` via the network
+layer, so the packet itself carries only protocol-level identity:
+
+``kind``
+    What the packet is for — original data, a recovery request, an
+    SRM-style multicast NACK, a repair, or a session/flush message.
+``seq``
+    The data sequence number it concerns (-1 for session messages that
+    carry only ``highest_seq``).
+``origin``
+    The node that created it (requester for requests/NACKs, repairer
+    for repairs, source for data).
+``highest_seq``
+    On SESSION messages: the highest sequence number the source has
+    sent, letting receivers detect tail losses.
+``req_id``
+    Correlates a REQUEST with the REPAIR it triggered so protocol
+    runtimes can tell "my attempt succeeded" from "someone else's
+    repair happened to cover me" — both are recoveries, but the RP/RMA
+    search state machines advance differently.
+``chain_index``
+    Position in a forwarded search chain (RMA): how many upstream
+    receivers the request has already visited.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PacketKind(enum.Enum):
+    DATA = "data"
+    REQUEST = "request"
+    NACK = "nack"
+    REPAIR = "repair"
+    SESSION = "session"
+
+
+@dataclass(frozen=True)
+class Packet:
+    kind: PacketKind
+    seq: int
+    origin: int
+    highest_seq: int = -1
+    req_id: int = -1
+    chain_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is not PacketKind.SESSION and self.seq < 0:
+            raise ValueError(f"{self.kind.value} packet needs a sequence number")
+
+    @property
+    def is_recovery_traffic(self) -> bool:
+        """True for packets whose hops count as recovery bandwidth
+        (everything except the original data stream and session chatter)."""
+        return self.kind in (PacketKind.REQUEST, PacketKind.NACK, PacketKind.REPAIR)

@@ -1,0 +1,173 @@
+"""Event tracing for the packet simulator.
+
+A :class:`TraceRecorder` hooks a :class:`~repro.sim.network.SimNetwork`
+and records every transmission, drop and delivery as structured
+:class:`TraceEvent` records.  It exists for protocol debugging and for
+tests that assert *how* something happened (which links a repair
+crossed, when a NACK flood reached a node) rather than just the end
+state.
+
+The hook wraps the network's private primitives, so tracing costs
+nothing when not installed and the network code stays hook-free.
+Filters keep traces of large runs manageable: by packet kind, by
+sequence number, and by node.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sim.network import SimNetwork
+from repro.sim.packet import Packet, PacketKind
+
+
+class TraceKind(enum.Enum):
+    TRANSMIT = "transmit"   # packet put on a link
+    DROP = "drop"           # loss process ate it on that link
+    DELIVER = "deliver"     # packet handed to a node's agent
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulator event."""
+
+    time: float
+    kind: TraceKind
+    packet_kind: PacketKind
+    seq: int
+    origin: int
+    node: int          # receiving endpoint (transmit/drop: link target)
+    peer: int = -1     # transmit/drop: link source; deliver: -1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        arrow = f"{self.peer}->{self.node}" if self.peer >= 0 else f"@{self.node}"
+        return (
+            f"[{self.time:10.3f}] {self.kind.value:8} "
+            f"{self.packet_kind.value:7} seq={self.seq} {arrow}"
+        )
+
+
+@dataclass
+class TraceFilter:
+    """Which events to keep.  Empty sets mean "no restriction"."""
+
+    packet_kinds: frozenset[PacketKind] = frozenset()
+    seqs: frozenset[int] = frozenset()
+    nodes: frozenset[int] = frozenset()
+
+    def admits(self, event: TraceEvent) -> bool:
+        if self.packet_kinds and event.packet_kind not in self.packet_kinds:
+            return False
+        if self.seqs and event.seq not in self.seqs:
+            return False
+        if self.nodes and event.node not in self.nodes and event.peer not in self.nodes:
+            return False
+        return True
+
+
+class TraceRecorder:
+    """Records filtered simulator events; install via :meth:`attach`."""
+
+    def __init__(self, trace_filter: TraceFilter | None = None,
+                 max_events: int = 1_000_000):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.filter = trace_filter or TraceFilter()
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self._attached: SimNetwork | None = None
+        self._orig_transmit = None
+        self._orig_deliver = None
+
+    # -- installation -------------------------------------------------------
+
+    def attach(self, network: SimNetwork) -> "TraceRecorder":
+        """Start recording ``network``; returns self for chaining."""
+        if self._attached is not None:
+            raise RuntimeError("recorder already attached")
+        self._attached = network
+        self._orig_transmit = network._transmit
+        self._orig_deliver = network._deliver
+
+        recorder = self
+
+        def traced_transmit(link, to_node, packet, on_arrival):
+            src = link.other(to_node)
+            # Drop inference: the original transmit schedules the
+            # arrival event iff the packet survived the loss draw.
+            before = len(network.events._heap)
+            recorder._orig_transmit(link, to_node, packet, on_arrival)
+            scheduled = len(network.events._heap) > before
+            recorder._record(
+                TraceKind.TRANSMIT if scheduled else TraceKind.DROP,
+                packet, node=to_node, peer=src,
+            )
+
+        def traced_deliver(node, packet):
+            recorder._record(TraceKind.DELIVER, packet, node=node)
+            recorder._orig_deliver(node, packet)
+
+        network._transmit = traced_transmit  # type: ignore[method-assign]
+        network._deliver = traced_deliver    # type: ignore[method-assign]
+        return self
+
+    def detach(self) -> None:
+        """Stop recording and restore the network's primitives."""
+        if self._attached is None:
+            return
+        self._attached._transmit = self._orig_transmit  # type: ignore[method-assign]
+        self._attached._deliver = self._orig_deliver    # type: ignore[method-assign]
+        self._attached = None
+
+    # -- recording -----------------------------------------------------------
+
+    def _record(self, kind: TraceKind, packet: Packet, node: int,
+                peer: int = -1) -> None:
+        if len(self.events) >= self.max_events:
+            raise RuntimeError(
+                f"trace exceeded {self.max_events} events; narrow the filter"
+            )
+        assert self._attached is not None
+        event = TraceEvent(
+            time=self._attached.events.now,
+            kind=kind,
+            packet_kind=packet.kind,
+            seq=packet.seq,
+            origin=packet.origin,
+            node=node,
+            peer=peer,
+        )
+        if self.filter.admits(event):
+            self.events.append(event)
+
+    # -- queries ----------------------------------------------------------------
+
+    def of_kind(self, kind: TraceKind) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def deliveries_to(self, node: int) -> list[TraceEvent]:
+        return [
+            e for e in self.events
+            if e.kind is TraceKind.DELIVER and e.node == node
+        ]
+
+    def drops(self) -> list[TraceEvent]:
+        return self.of_kind(TraceKind.DROP)
+
+    def path_of(self, packet_kind: PacketKind, seq: int) -> list[tuple[int, int]]:
+        """(src, dst) link traversals of matching packets, in time order."""
+        return [
+            (e.peer, e.node)
+            for e in self.events
+            if e.kind is TraceKind.TRANSMIT
+            and e.packet_kind is packet_kind
+            and e.seq == seq
+        ]
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable dump of the first ``limit`` events."""
+        lines = [str(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... and {len(self.events) - limit} more")
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Direct tests for the brute-force oracles."""
+
+import pytest
+
+from repro.core.bruteforce import (
+    brute_force_best_any_order,
+    brute_force_best_strategy,
+)
+from repro.core.candidates import Candidate
+from repro.core.objective import expected_strategy_delay, Attempt
+
+
+def candidates():
+    return [
+        Candidate(node=10, ds=3, rtt=20.0),
+        Candidate(node=11, ds=1, rtt=8.0),
+    ]
+
+
+TIMEOUTS = {10: 35.0, 11: 15.0}
+
+
+class TestMeaningfulOracle:
+    def test_empty_candidates(self):
+        delay, chain = brute_force_best_strategy(4, [], 50.0, {})
+        assert chain == ()
+        assert delay == 50.0
+
+    def test_allow_empty_false_forces_peer(self):
+        delay, chain = brute_force_best_strategy(
+            4, candidates(), 1.0, TIMEOUTS, allow_empty=False
+        )
+        assert len(chain) >= 1
+
+    def test_allow_empty_false_without_candidates_raises(self):
+        with pytest.raises(ValueError):
+            brute_force_best_strategy(4, [], 1.0, {}, allow_empty=False)
+
+    def test_returns_actual_minimum(self):
+        cands = candidates()
+        best, chain = brute_force_best_strategy(4, cands, 100.0, TIMEOUTS)
+        # Enumerate by hand: {}, {10}, {11}, {10, 11}.
+        options = [
+            (),
+            (cands[0],),
+            (cands[1],),
+            (cands[0], cands[1]),
+        ]
+        expected = min(
+            expected_strategy_delay(
+                4,
+                [Attempt(ds=c.ds, rtt=c.rtt, timeout=TIMEOUTS[c.node]) for c in o],
+                100.0,
+            )
+            for o in options
+        )
+        assert best == pytest.approx(expected)
+
+    def test_deterministic_tie_break(self):
+        # Two identical candidates at distinct DS with equal economics
+        # still produce a stable answer.
+        a = brute_force_best_strategy(4, candidates(), 100.0, TIMEOUTS)
+        b = brute_force_best_strategy(4, candidates(), 100.0, TIMEOUTS)
+        assert a == b
+
+
+class TestAnyOrderOracle:
+    def test_never_worse_than_meaningful(self):
+        m, _ = brute_force_best_strategy(4, candidates(), 100.0, TIMEOUTS)
+        a, _ = brute_force_best_any_order(4, candidates(), 100.0, TIMEOUTS)
+        assert a <= m + 1e-12
+
+    def test_max_length_zero_is_source_only(self):
+        delay, chain = brute_force_best_any_order(
+            4, candidates(), 100.0, TIMEOUTS, max_length=0
+        )
+        assert chain == ()
+        assert delay == 100.0
+
+    def test_max_length_one_restricts(self):
+        _, chain = brute_force_best_any_order(
+            4, candidates(), 500.0, TIMEOUTS, max_length=1
+        )
+        assert len(chain) <= 1

@@ -1,0 +1,234 @@
+"""Tests for the exact finite-p loss model extension.
+
+The key consistency property: as p → 0 the exact conditional
+probabilities converge to the paper's reliable-network lemmas, so the
+exact expected delay converges to eq. (3)'s value.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exact_model import (
+    ExactLossModel,
+    ExactPeer,
+    exact_best_any_order,
+    exact_expected_delay,
+)
+from repro.core.objective import Attempt, expected_strategy_delay
+from repro.core.timeouts import ProportionalTimeout
+from repro.net.generators import TopologyConfig, random_backbone
+from repro.net.mcast_tree import random_multicast_tree
+from repro.net.routing import RoutingTable
+
+import numpy as np
+
+
+def peer(ds, private_len=1, rtt=10.0, timeout=20.0, node=0):
+    return ExactPeer(node=node, ds=ds, private_len=private_len, rtt=rtt,
+                     timeout=timeout)
+
+
+class TestModelBasics:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ExactLossModel(0, 0.1)
+        with pytest.raises(ValueError):
+            ExactLossModel(3, 0.0)
+        with pytest.raises(ValueError):
+            ExactLossModel(3, 1.0)
+
+    def test_client_loss_probability(self):
+        model = ExactLossModel(3, 0.1)
+        assert model.client_loss_probability() == pytest.approx(1 - 0.9**3)
+
+    def test_private_loss_probability(self):
+        model = ExactLossModel(3, 0.2)
+        assert model.private_loss_probability(0) == 0.0
+        assert model.private_loss_probability(2) == pytest.approx(1 - 0.8**2)
+
+    def test_first_loss_distribution_normalized(self):
+        model = ExactLossModel(7, 0.15)
+        assert model._first_loss.sum() == pytest.approx(1.0)
+
+    def test_peer_loss_probability_bounds(self):
+        model = ExactLossModel(5, 0.1)
+        p = model.peer_loss_probability(peer(ds=2, private_len=3))
+        assert 0.0 < p < 1.0
+
+    def test_peer_with_full_shared_path_certainly_lost(self):
+        model = ExactLossModel(4, 0.1)
+        # ds = ds_u: shares the whole path; even with no private branch
+        # it lost whatever u lost.
+        assert model.peer_loss_probability(peer(ds=4, private_len=0)) == pytest.approx(1.0)
+
+    def test_uncorrelated_peer_loss_is_private_only(self):
+        model = ExactLossModel(4, 0.1)
+        q = model.private_loss_probability(2)
+        assert model.peer_loss_probability(peer(ds=0, private_len=2)) == pytest.approx(q)
+
+
+class TestExpectedDelay:
+    def test_empty_chain_is_source_rtt(self):
+        assert exact_expected_delay(3, 0.05, [], 42.0) == pytest.approx(42.0)
+
+    def test_single_reliable_uncorrelated_peer(self):
+        # ds=0, private_len=0: the peer has the packet with certainty.
+        delay = exact_expected_delay(
+            4, 0.05, [peer(ds=0, private_len=0, rtt=7.0)], 1000.0
+        )
+        assert delay == pytest.approx(7.0)
+
+    def test_rejects_negative_source_rtt(self):
+        with pytest.raises(ValueError):
+            exact_expected_delay(3, 0.05, [], -1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ds_u=st.integers(min_value=1, max_value=10),
+        data=st.data(),
+    )
+    def test_converges_to_reliable_model_as_p_vanishes(self, ds_u, data):
+        ds_values = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=ds_u - 1),
+                max_size=4,
+                unique=True,
+            ).map(lambda xs: sorted(xs, reverse=True))
+        )
+        chain = [
+            peer(
+                ds=ds,
+                private_len=0,  # reliable model ignores private losses
+                rtt=data.draw(st.floats(min_value=0.1, max_value=50.0)),
+                timeout=data.draw(st.floats(min_value=0.1, max_value=50.0)),
+            )
+            for ds in ds_values
+        ]
+        source_rtt = 80.0
+        exact = exact_expected_delay(ds_u, 1e-9, chain, source_rtt)
+        attempts = [Attempt(ds=c.ds, rtt=c.rtt, timeout=c.timeout) for c in chain]
+        reliable = expected_strategy_delay(ds_u, attempts, source_rtt)
+        assert exact == pytest.approx(reliable, rel=1e-5)
+
+    def test_private_branch_losses_increase_delay(self):
+        """Longer private branches make a peer less useful, raising the
+        exact expected delay — an effect the paper's model ignores."""
+        base = [peer(ds=1, private_len=0, rtt=5.0, timeout=30.0)]
+        lossy = [peer(ds=1, private_len=8, rtt=5.0, timeout=30.0)]
+        d0 = exact_expected_delay(5, 0.1, base, 100.0)
+        d1 = exact_expected_delay(5, 0.1, lossy, 100.0)
+        assert d1 > d0
+
+    def test_higher_p_changes_value_smoothly(self):
+        chain = [peer(ds=2, private_len=1), peer(ds=1, private_len=1, node=1)]
+        values = [
+            exact_expected_delay(5, p, chain, 100.0)
+            for p in (0.01, 0.05, 0.10, 0.20)
+        ]
+        assert all(v > 0 for v in values)
+
+
+class TestExactOracle:
+    def test_best_any_order_never_worse_than_fixed_chain(self):
+        peers = [
+            peer(ds=3, private_len=1, rtt=20.0, timeout=40.0, node=1),
+            peer(ds=1, private_len=2, rtt=8.0, timeout=18.0, node=2),
+        ]
+        best, chain = exact_best_any_order(5, 0.1, peers, 100.0)
+        fixed = exact_expected_delay(5, 0.1, peers, 100.0)
+        assert best <= fixed + 1e-12
+
+    def test_lemma5_drop_out_of_order_peer_at_low_p(self):
+        """Lemma 5 under the exact model at small p: dropping a peer whose
+        DS does not strictly decrease never hurts."""
+        first = peer(ds=1, private_len=1, rtt=12.0, timeout=28.0, node=2)
+        out_of_order = peer(ds=3, private_len=1, rtt=10.0, timeout=25.0, node=1)
+        with_peer = exact_expected_delay(5, 0.001, [first, out_of_order], 200.0)
+        without = exact_expected_delay(5, 0.001, [first], 200.0)
+        assert without <= with_peer + 1e-9
+
+
+class TestPeersFromTree:
+    def test_geometry_extraction(self):
+        topo = random_backbone(
+            TopologyConfig(num_routers=30), np.random.default_rng(17)
+        )
+        tree = random_multicast_tree(topo, np.random.default_rng(18))
+        routing = RoutingTable(topo)
+        clients = tree.clients
+        u = clients[0]
+        others = [c for c in clients[1:4]]
+        peers = ExactLossModel.peers_from_tree(
+            tree, routing, u, others, ProportionalTimeout()
+        )
+        for p, node in zip(peers, others):
+            assert p.node == node
+            assert p.ds == tree.ds(u, node)
+            assert p.private_len == tree.depth(node) - tree.ds(u, node)
+            assert p.rtt == pytest.approx(routing.rtt(u, node))
+            assert p.timeout > p.rtt
+
+
+class TestHeterogeneousModel:
+    def test_uniform_special_case_matches(self):
+        """All-equal path probabilities reproduce the uniform model."""
+        p = 0.07
+        ds_u = 5
+        uniform = ExactLossModel(ds_u, p)
+        hetero = ExactLossModel.heterogeneous([p] * ds_u)
+        chain = [peer(ds=2, private_len=0, rtt=9.0, timeout=21.0)]
+        assert hetero.client_loss_probability() == pytest.approx(
+            uniform.client_loss_probability()
+        )
+        assert hetero.expected_delay(chain, 100.0) == pytest.approx(
+            uniform.expected_delay(chain, 100.0)
+        )
+
+    def test_hand_computed_two_link_path(self):
+        """Path S -e1- R -e2- u with p1, p2; peer meets at R (ds=1).
+
+        P(M=1|lost) = p1 / (p1 + (1-p1) p2).  A zero-private peer at
+        ds=1 has the packet iff M=2.
+        """
+        p1, p2 = 0.3, 0.1
+        model = ExactLossModel.heterogeneous([p1, p2])
+        v = peer(ds=1, private_len=0, rtt=4.0, timeout=10.0)
+        v = ExactPeer(node=v.node, ds=v.ds, private_len=0, rtt=4.0,
+                      timeout=10.0, private_loss_prob=0.0)
+        p_m1 = p1 / (p1 + (1 - p1) * p2)
+        success = 1.0 - p_m1
+        expected = (success * 4.0 + p_m1 * 10.0) + p_m1 * 50.0
+        assert model.expected_delay([v], 50.0) == pytest.approx(expected)
+
+    def test_lossy_first_link_makes_shallow_peer_useless(self):
+        """When nearly all loss is on the first link, a peer meeting at
+        depth 1 almost surely lost the packet too."""
+        model = ExactLossModel.heterogeneous([0.3, 1e-9, 1e-9])
+        v = ExactPeer(node=0, ds=1, private_len=0, rtt=1.0, timeout=100.0,
+                      private_loss_prob=0.0)
+        # Expected delay ~ timeout + source rtt: the attempt fails.
+        delay = model.expected_delay([v], 50.0)
+        assert delay == pytest.approx(150.0, rel=1e-3)
+
+    def test_requires_explicit_private_loss(self):
+        model = ExactLossModel.heterogeneous([0.1, 0.1])
+        v = peer(ds=1, private_len=2)  # no explicit private_loss_prob
+        with pytest.raises(ValueError):
+            model.expected_delay([v], 50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExactLossModel.heterogeneous([])
+        with pytest.raises(ValueError):
+            ExactLossModel.heterogeneous([0.1, 1.0])
+        with pytest.raises(ValueError):
+            ExactLossModel.heterogeneous([0.0, 0.0])
+        with pytest.raises(ValueError):
+            ExactPeer(node=0, ds=1, private_len=0, rtt=1.0, timeout=1.0,
+                      private_loss_prob=1.5)
+
+    def test_loss_prob_none_for_heterogeneous(self):
+        model = ExactLossModel.heterogeneous([0.1, 0.2])
+        assert model.loss_prob is None
+        with pytest.raises(ValueError):
+            model.private_loss_probability(2)

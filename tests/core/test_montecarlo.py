@@ -1,0 +1,167 @@
+"""Monte Carlo pinning of the probability stack.
+
+These tests tie the derived models to the physical loss process:
+
+* at small p the empirical conditional success probabilities must match
+  Lemma 1 (and the telescoping reach of Lemma 3);
+* at any p they must match the exact finite-p model;
+* the pairwise loss matrix must show the correlation structure the
+  paper's introduction describes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import candidate_clients
+from repro.core.exact_model import ExactLossModel
+from repro.core.montecarlo import TreeLossSampler
+from repro.core.probability import SingleLossModel
+from repro.net.generators import TopologyConfig, random_backbone
+from repro.net.mcast_tree import random_multicast_tree
+from repro.net.routing import RoutingTable
+
+
+@pytest.fixture(scope="module")
+def scene():
+    topo = random_backbone(
+        TopologyConfig(num_routers=40), np.random.default_rng(51)
+    )
+    tree = random_multicast_tree(topo, np.random.default_rng(52))
+    routing = RoutingTable(topo)
+    client = tree.clients[0]
+    candidates = candidate_clients(tree, routing, client)[:3]
+    return tree, routing, client, candidates
+
+
+class TestSampler:
+    def test_root_never_loses(self, scene):
+        tree, _, _, _ = scene
+        sampler = TreeLossSampler(tree, 0.3)
+        lost = sampler.sample_lost([tree.root], np.random.default_rng(0), 100)
+        assert not lost.any()
+
+    def test_zero_loss_prob_no_losses(self, scene):
+        tree, _, client, _ = scene
+        sampler = TreeLossSampler(tree, 0.0)
+        lost = sampler.sample_lost([client], np.random.default_rng(0), 100)
+        assert not lost.any()
+
+    def test_rejects_bad_inputs(self, scene):
+        tree, _, client, _ = scene
+        with pytest.raises(ValueError):
+            TreeLossSampler(tree, 1.0)
+        sampler = TreeLossSampler(tree, 0.1)
+        with pytest.raises(ValueError):
+            sampler.sample_lost([client], np.random.default_rng(0), 0)
+
+    def test_client_loss_rate_matches_formula(self, scene):
+        tree, _, client, _ = scene
+        p = 0.1
+        sampler = TreeLossSampler(tree, p)
+        lost = sampler.sample_lost([client], np.random.default_rng(1), 200_000)
+        expected = 1.0 - (1.0 - p) ** tree.depth(client)
+        assert lost.mean() == pytest.approx(expected, abs=0.005)
+
+    def test_deeper_nodes_lose_more(self, scene):
+        tree, _, _, _ = scene
+        sampler = TreeLossSampler(tree, 0.1)
+        members = sorted(
+            (n for n in tree.members if n != tree.root), key=tree.depth
+        )
+        shallow, deep = members[0], members[-1]
+        if tree.depth(shallow) == tree.depth(deep):
+            pytest.skip("degenerate tree")
+        lost = sampler.sample_lost(
+            [shallow, deep], np.random.default_rng(2), 100_000
+        )
+        assert lost[:, 0].mean() < lost[:, 1].mean()
+
+
+class TestAgainstExactModel:
+    @pytest.mark.parametrize("p", [0.02, 0.10, 0.25])
+    def test_chain_statistics_match_exact_model(self, scene, p):
+        tree, routing, client, candidates = scene
+        if not candidates:
+            pytest.skip("client has no candidates on this seed")
+        sampler = TreeLossSampler(tree, p)
+        empirical = sampler.empirical_chain(
+            client,
+            [c.node for c in candidates],
+            np.random.default_rng(3),
+            trials=300_000,
+        )
+        model = ExactLossModel(tree.depth(client), p)
+        assert empirical.client_loss_rate == pytest.approx(
+            model.client_loss_probability(), abs=0.01
+        )
+        # Walk the chain through the exact model, comparing conditionals.
+        weights = model._first_loss.copy()
+        for j, candidate in enumerate(candidates):
+            private_len = tree.depth(candidate.node) - candidate.ds
+            q = model.private_loss_probability(private_len)
+            reach = float(weights.sum())
+            has = np.zeros_like(weights)
+            has[candidate.ds:] = 1.0 - q
+            success = float((weights * has).sum()) / reach
+            assert empirical.success_given_reach[j] == pytest.approx(
+                success, abs=0.03
+            )
+            fail = np.ones_like(weights)
+            fail[candidate.ds:] = q
+            weights = weights * fail
+
+    def test_small_p_matches_lemma1(self, scene):
+        """At p -> 0 the empirical conditionals approach Lemma 1."""
+        tree, routing, client, candidates = scene
+        if not candidates:
+            pytest.skip("client has no candidates on this seed")
+        p = 0.005
+        sampler = TreeLossSampler(tree, p)
+        empirical = sampler.empirical_chain(
+            client,
+            [c.node for c in candidates],
+            np.random.default_rng(4),
+            trials=2_000_000,
+        )
+        model = SingleLossModel(tree.depth(client))
+        for j, candidate in enumerate(candidates):
+            predicted = model.success_prob(candidate.ds)
+            assert empirical.success_given_reach[j] == pytest.approx(
+                predicted, abs=0.06
+            )
+            model.observe_failure(candidate.ds)
+
+
+class TestPairLossMatrix:
+    def test_diagonal_is_individual_loss(self, scene):
+        tree, _, client, _ = scene
+        sampler = TreeLossSampler(tree, 0.1)
+        matrix = sampler.empirical_pair_loss_matrix(
+            [client], np.random.default_rng(5), trials=100_000
+        )
+        expected = 1.0 - 0.9 ** tree.depth(client)
+        assert matrix[0, 0] == pytest.approx(expected, abs=0.01)
+
+    def test_siblings_more_correlated_than_strangers(self, scene):
+        """Peers sharing a long prefix lose together more often — the
+        correlation the paper warns nearest-peer recovery about."""
+        tree, routing, client, _ = scene
+        clients = tree.clients
+        # Find the peer with max shared prefix and the one with min.
+        others = [c for c in clients if c != client]
+        if len(others) < 2:
+            pytest.skip("not enough clients")
+        near = max(others, key=lambda c: tree.ds(client, c))
+        far = min(others, key=lambda c: tree.ds(client, c))
+        if tree.ds(client, near) == tree.ds(client, far):
+            pytest.skip("no correlation contrast on this seed")
+        sampler = TreeLossSampler(tree, 0.1)
+        matrix = sampler.empirical_pair_loss_matrix(
+            [client, near, far], np.random.default_rng(6), trials=200_000
+        )
+        joint_near = matrix[0, 1]
+        joint_far = matrix[0, 2]
+        # Normalize by the peers' own loss rates to compare correlation.
+        corr_near = joint_near / matrix[1, 1]
+        corr_far = joint_far / matrix[2, 2]
+        assert corr_near > corr_far

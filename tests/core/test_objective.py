@@ -1,0 +1,150 @@
+"""Tests for the expected-delay objective (eqs. 1-3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.objective import (
+    Attempt,
+    BlendEstimator,
+    RttOnlyEstimator,
+    TimeoutOnlyEstimator,
+    expected_strategy_delay,
+    expected_strategy_delay_descending,
+)
+
+
+class TestAttempt:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Attempt(ds=-1, rtt=1.0, timeout=1.0)
+        with pytest.raises(ValueError):
+            Attempt(ds=1, rtt=-1.0, timeout=1.0)
+        with pytest.raises(ValueError):
+            Attempt(ds=1, rtt=1.0, timeout=-1.0)
+
+
+class TestEstimators:
+    def test_blend_interpolates(self):
+        est = BlendEstimator()
+        assert est.cost(10.0, 100.0, 1.0) == 10.0
+        assert est.cost(10.0, 100.0, 0.0) == 100.0
+        assert est.cost(10.0, 100.0, 0.5) == 55.0
+
+    def test_rtt_only_ignores_probability(self):
+        est = RttOnlyEstimator()
+        assert est.cost(10.0, 100.0, 0.3) == 10.0
+
+    def test_timeout_only_ignores_probability(self):
+        est = TimeoutOnlyEstimator()
+        assert est.cost(10.0, 100.0, 0.3) == 100.0
+
+
+class TestExpectedDelayHandComputed:
+    def test_empty_strategy_is_source_rtt(self):
+        assert expected_strategy_delay(4, [], source_rtt=50.0) == 50.0
+
+    def test_single_attempt(self):
+        # ds_u=4, peer ds=1: success 3/4 costing rtt=8, fail 1/4 costing
+        # timeout=20, then reach source (prob 1/4) costing 40.
+        attempt = Attempt(ds=1, rtt=8.0, timeout=20.0)
+        expected = (0.75 * 8.0 + 0.25 * 20.0) + 0.25 * 40.0
+        assert expected_strategy_delay(4, [attempt], 40.0) == pytest.approx(expected)
+
+    def test_two_attempts_descending(self):
+        # ds_u=6; peers ds=3 then ds=1.
+        a1 = Attempt(ds=3, rtt=10.0, timeout=30.0)
+        a2 = Attempt(ds=1, rtt=6.0, timeout=18.0)
+        # Stage 1: success 1/2 -> cost .5*10 + .5*30 = 20.
+        # Stage 2 reached w.p. 1/2; success (3-1)/3=2/3:
+        #   cost 2/3*6 + 1/3*18 = 10, weighted .5 -> 5.
+        # Source reached w.p. 1/6, rtt 60 -> 10.
+        assert expected_strategy_delay(6, [a1, a2], 60.0) == pytest.approx(35.0)
+
+    def test_ds_zero_peer_terminates_chain(self):
+        # A ds=0 peer has the packet surely; source never reached and
+        # later attempts never happen.
+        attempts = [
+            Attempt(ds=0, rtt=5.0, timeout=50.0),
+            Attempt(ds=0, rtt=999.0, timeout=999.0),
+        ]
+        assert expected_strategy_delay(3, attempts, 1000.0) == pytest.approx(5.0)
+
+    def test_useless_peer_costs_full_timeout(self):
+        # ds == ds_u: certain failure; pure timeout then source.
+        attempt = Attempt(ds=5, rtt=2.0, timeout=40.0)
+        assert expected_strategy_delay(5, [attempt], 10.0) == pytest.approx(50.0)
+
+    def test_rejects_negative_source_rtt(self):
+        with pytest.raises(ValueError):
+            expected_strategy_delay(3, [], -1.0)
+
+
+class TestDescendingClosedForm:
+    def test_matches_general_evaluator(self):
+        attempts = [
+            Attempt(ds=4, rtt=12.0, timeout=25.0),
+            Attempt(ds=2, rtt=9.0, timeout=21.0),
+            Attempt(ds=1, rtt=7.0, timeout=15.0),
+        ]
+        general = expected_strategy_delay(7, attempts, 80.0)
+        closed = expected_strategy_delay_descending(7, attempts, 80.0)
+        assert closed == pytest.approx(general)
+
+    def test_rejects_non_descending(self):
+        attempts = [
+            Attempt(ds=2, rtt=1.0, timeout=1.0),
+            Attempt(ds=3, rtt=1.0, timeout=1.0),
+        ]
+        with pytest.raises(ValueError):
+            expected_strategy_delay_descending(7, attempts, 10.0)
+
+    def test_rejects_ds_equal_to_ds_u(self):
+        with pytest.raises(ValueError):
+            expected_strategy_delay_descending(
+                3, [Attempt(ds=3, rtt=1.0, timeout=1.0)], 10.0
+            )
+
+    @given(
+        ds_u=st.integers(min_value=1, max_value=20),
+        data=st.data(),
+        source_rtt=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_property_general_equals_closed_form(self, ds_u, data, source_rtt):
+        ds_values = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=ds_u - 1),
+                max_size=6,
+                unique=True,
+            ).map(lambda xs: sorted(xs, reverse=True))
+        )
+        attempts = [
+            Attempt(
+                ds=ds,
+                rtt=data.draw(st.floats(min_value=0.0, max_value=500.0)),
+                timeout=data.draw(st.floats(min_value=0.0, max_value=500.0)),
+            )
+            for ds in ds_values
+        ]
+        general = expected_strategy_delay(ds_u, attempts, source_rtt)
+        closed = expected_strategy_delay_descending(ds_u, attempts, source_rtt)
+        assert closed == pytest.approx(general, rel=1e-9, abs=1e-9)
+
+
+class TestDominanceLemmas:
+    """Objective-level checks of the paper's pruning lemmas."""
+
+    def test_lemma5_dropping_out_of_order_peer_helps(self):
+        """An out-of-order peer (DS not decreasing) never helps (Lemma 5)."""
+        ds_u = 8
+        good = Attempt(ds=2, rtt=10.0, timeout=30.0)
+        out_of_order = Attempt(ds=5, rtt=1.0, timeout=3.0)
+        with_peer = expected_strategy_delay(ds_u, [good, out_of_order], 100.0)
+        without = expected_strategy_delay(ds_u, [good], 100.0)
+        assert without <= with_peer
+
+    def test_appending_source_dominated_peer_can_still_help(self):
+        """Sanity: a cheap low-DS peer strictly improves on going straight
+        to a distant source."""
+        ds_u = 8
+        cheap = Attempt(ds=1, rtt=5.0, timeout=12.0)
+        assert expected_strategy_delay(ds_u, [cheap], 200.0) < 200.0

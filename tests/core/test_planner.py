@@ -1,0 +1,165 @@
+"""Tests for the RP planner façade, including end-to-end optimality
+against brute force on real random trees."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import brute_force_best_strategy
+from repro.core.objective import Attempt, RttOnlyEstimator, expected_strategy_delay
+from repro.core.planner import RPPlanner
+from repro.core.strategy_graph import StrategyRestrictions
+from repro.core.timeouts import FixedTimeout, ProportionalTimeout
+from repro.net.generators import TopologyConfig, random_backbone
+from repro.net.mcast_tree import random_multicast_tree
+from repro.net.routing import RoutingTable
+
+
+@pytest.fixture
+def random_scene():
+    topo = random_backbone(
+        TopologyConfig(num_routers=40), np.random.default_rng(31)
+    )
+    tree = random_multicast_tree(topo, np.random.default_rng(32))
+    routing = RoutingTable(topo)
+    return topo, tree, routing
+
+
+class TestPlanBasics:
+    def test_plan_fields_consistent(self, random_scene):
+        topo, tree, routing = random_scene
+        planner = RPPlanner(tree, routing)
+        client = tree.clients[0]
+        strategy = planner.plan(client)
+        assert strategy.client == client
+        assert strategy.ds_u == tree.depth(client)
+        assert strategy.source_rtt == pytest.approx(routing.rtt(client, tree.root))
+        assert len(strategy.timeouts) == len(strategy.attempts)
+        assert len(strategy) == len(strategy.attempts)
+        assert strategy.peer_nodes == tuple(c.node for c in strategy.attempts)
+
+    def test_expected_delay_matches_objective(self, random_scene):
+        _, tree, routing = random_scene
+        planner = RPPlanner(tree, routing)
+        for client in tree.clients[:6]:
+            s = planner.plan(client)
+            attempts = [
+                Attempt(ds=c.ds, rtt=c.rtt, timeout=t)
+                for c, t in zip(s.attempts, s.timeouts)
+            ]
+            assert s.expected_delay == pytest.approx(
+                expected_strategy_delay(s.ds_u, attempts, s.source_rtt)
+            )
+
+    def test_plan_never_worse_than_direct_source(self, random_scene):
+        _, tree, routing = random_scene
+        planner = RPPlanner(tree, routing)
+        for client in tree.clients:
+            s = planner.plan(client)
+            assert s.expected_delay <= routing.rtt(client, tree.root) + 1e-9
+
+    def test_plan_all_covers_every_client(self, random_scene):
+        _, tree, routing = random_scene
+        planner = RPPlanner(tree, routing)
+        plans = planner.plan_all()
+        assert sorted(plans) == tree.clients
+
+    def test_mismatched_topologies_rejected(self, random_scene):
+        topo, tree, _ = random_scene
+        other = random_backbone(
+            TopologyConfig(num_routers=10), np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError):
+            RPPlanner(tree, RoutingTable(other))
+
+    def test_deterministic_planning(self, random_scene):
+        _, tree, routing = random_scene
+        a = RPPlanner(tree, routing).plan_all()
+        b = RPPlanner(tree, routing).plan_all()
+        assert {c: s.peer_nodes for c, s in a.items()} == {
+            c: s.peer_nodes for c, s in b.items()
+        }
+
+
+class TestPlanOptimality:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_brute_force_on_random_trees(self, seed):
+        topo = random_backbone(
+            TopologyConfig(num_routers=25), np.random.default_rng(seed)
+        )
+        tree = random_multicast_tree(topo, np.random.default_rng(seed + 100))
+        routing = RoutingTable(topo)
+        policy = ProportionalTimeout()
+        planner = RPPlanner(tree, routing, timeout_policy=policy)
+        for client in tree.clients[:4]:
+            strategy = planner.plan(client)
+            candidates = planner.candidates_for(client)
+            if len(candidates) > 10:
+                candidates = candidates[:10]  # keep brute force tractable
+                continue
+            timeouts = {c.node: policy.timeout(c.rtt) for c in candidates}
+            best, chain = brute_force_best_strategy(
+                tree.depth(client),
+                candidates,
+                routing.rtt(client, tree.root),
+                timeouts,
+            )
+            assert strategy.expected_delay == pytest.approx(best)
+
+
+class TestPlannerConfiguration:
+    def test_fixed_timeout_used_in_plan(self, random_scene):
+        _, tree, routing = random_scene
+        planner = RPPlanner(tree, routing, timeout_policy=FixedTimeout(123.0))
+        s = planner.plan(tree.clients[0])
+        assert all(t == 123.0 for t in s.timeouts)
+        assert s.source_timeout == 123.0
+
+    def test_rtt_only_estimator_prefers_longer_lists(self, random_scene):
+        """With attempt cost = RTT only (failures free besides reach),
+        the optimal list is never shorter than the blend-estimated one."""
+        _, tree, routing = random_scene
+        blend = RPPlanner(tree, routing)
+        rtt_only = RPPlanner(tree, routing, estimator=RttOnlyEstimator())
+        longer_or_equal = 0
+        for client in tree.clients:
+            if len(rtt_only.plan(client)) >= len(blend.plan(client)):
+                longer_or_equal += 1
+        assert longer_or_equal >= len(tree.clients) * 0.8
+
+    def test_forbid_direct_source(self, random_scene):
+        _, tree, routing = random_scene
+        planner = RPPlanner(
+            tree,
+            routing,
+            restrictions=StrategyRestrictions(forbid_direct_source=True),
+        )
+        for client in tree.clients:
+            if planner.candidates_for(client):
+                s = planner.plan(client)
+                assert len(s.attempts) >= 1
+
+    def test_max_list_length_enforced(self, random_scene):
+        _, tree, routing = random_scene
+        planner = RPPlanner(
+            tree, routing, restrictions=StrategyRestrictions(max_list_length=1)
+        )
+        unrestricted = RPPlanner(tree, routing)
+        for client in tree.clients:
+            s = planner.plan(client)
+            assert len(s.attempts) <= 1
+            assert s.expected_delay >= unrestricted.plan(client).expected_delay - 1e-9
+
+    def test_forbidden_peers_absent_from_plans(self, random_scene):
+        _, tree, routing = random_scene
+        base = RPPlanner(tree, routing)
+        client = tree.clients[0]
+        strategy = base.plan(client)
+        if not strategy.attempts:
+            pytest.skip("empty optimal list for this client")
+        banned = strategy.attempts[0].node
+        planner = RPPlanner(
+            tree,
+            routing,
+            restrictions=StrategyRestrictions(forbidden_peers=frozenset({banned})),
+        )
+        assert banned not in planner.plan(client).peer_nodes

@@ -1,0 +1,150 @@
+"""Tests for the reliable-network loss lemmas and the single-loss model,
+including hypothesis property tests for the telescoping identities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.probability import SingleLossModel, lemma1, lemma2, lemma3
+
+
+class TestLemma1:
+    def test_basic_value(self):
+        # Peer meets at depth 2, previous horizon 4 -> fails w.p. 1/2.
+        assert lemma1(2, 4) == pytest.approx(0.5)
+
+    def test_ds_zero_peer_never_fails(self):
+        assert lemma1(0, 5) == 0.0
+
+    def test_equal_ds_fails_certainly(self):
+        assert lemma1(3, 3) == 1.0
+
+    def test_rejects_ascending_chain(self):
+        with pytest.raises(ValueError):
+            lemma1(5, 3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            lemma1(-1, 3)
+        with pytest.raises(ValueError):
+            lemma1(0, 0)
+
+
+class TestLemma2:
+    def test_zero_probability(self):
+        assert lemma2(5, 3) == 0.0
+        assert lemma2(3, 3) == 0.0
+
+    def test_applicability_guard(self):
+        with pytest.raises(ValueError):
+            lemma2(2, 3)
+
+
+class TestLemma3:
+    def test_telescoping_value(self):
+        assert lemma3(2, 8) == pytest.approx(0.25)
+
+    def test_boundaries(self):
+        assert lemma3(0, 4) == 0.0
+        assert lemma3(4, 4) == 1.0
+
+    def test_rejects_ds_k_above_ds_u(self):
+        with pytest.raises(ValueError):
+            lemma3(5, 4)
+
+    @given(
+        ds_u=st.integers(min_value=1, max_value=50),
+        data=st.data(),
+    )
+    def test_lemma3_equals_lemma1_product(self, ds_u, data):
+        """Lemma 3 telescopes the Lemma 1 chain for any descending chain."""
+        chain = data.draw(
+            st.lists(st.integers(min_value=0, max_value=ds_u - 1), max_size=6)
+            .map(lambda xs: sorted(set(xs), reverse=True))
+        )
+        product = 1.0
+        prev = ds_u
+        for ds in chain:
+            product *= lemma1(ds, prev)
+            prev = ds
+        expected = lemma3(chain[-1], ds_u) if chain else 1.0
+        assert product == pytest.approx(expected)
+
+
+class TestSingleLossModel:
+    def test_initial_horizon(self):
+        model = SingleLossModel(7)
+        assert model.horizon == 7
+        assert model.ds_u == 7
+
+    def test_rejects_bad_ds_u(self):
+        with pytest.raises(ValueError):
+            SingleLossModel(0)
+
+    def test_success_prob_matches_lemma1_complement(self):
+        model = SingleLossModel(6)
+        assert model.success_prob(2) == pytest.approx(1.0 - lemma1(2, 6))
+
+    def test_success_prob_zero_at_horizon_and_above(self):
+        model = SingleLossModel(4)
+        assert model.success_prob(4) == 0.0
+        assert model.success_prob(9) == 0.0
+
+    def test_failure_shrinks_horizon(self):
+        model = SingleLossModel(8)
+        model.observe_failure(3)
+        assert model.horizon == 3
+        assert model.success_prob(1) == pytest.approx(2.0 / 3.0)
+
+    def test_failure_of_larger_ds_keeps_horizon(self):
+        model = SingleLossModel(4)
+        model.observe_failure(3)
+        model.observe_failure(7)  # lemma-2 certain failure; uninformative
+        assert model.horizon == 3
+
+    def test_ds_zero_failure_contradicts_model(self):
+        model = SingleLossModel(4)
+        with pytest.raises(ValueError):
+            model.observe_failure(0)
+
+    def test_chain_reach_probability_any_order(self):
+        model = SingleLossModel(10)
+        # min of {10, 4, 7, 2} = 2 -> 0.2 regardless of order.
+        assert model.chain_reach_probability([4, 7, 2]) == pytest.approx(0.2)
+        assert model.chain_reach_probability([2, 7, 4]) == pytest.approx(0.2)
+
+    def test_chain_with_ds_zero_never_fully_fails(self):
+        model = SingleLossModel(5)
+        assert model.chain_reach_probability([3, 0, 1]) == 0.0
+
+    def test_empty_chain_reaches_certainly(self):
+        assert SingleLossModel(5).chain_reach_probability([]) == 1.0
+
+    def test_copy_is_independent(self):
+        model = SingleLossModel(9)
+        clone = model.copy()
+        model.observe_failure(2)
+        assert clone.horizon == 9
+        assert model.horizon == 2
+
+    @given(
+        ds_u=st.integers(min_value=1, max_value=30),
+        chain=st.lists(st.integers(min_value=1, max_value=29), max_size=8),
+    )
+    def test_sequential_failures_match_chain_formula(self, ds_u, chain):
+        """Stepping failures one by one multiplies out to the closed form."""
+        model = SingleLossModel(ds_u)
+        product = 1.0
+        for ds in chain:
+            product *= 1.0 - model.success_prob(ds)
+            model.observe_failure(ds)
+        assert product == pytest.approx(
+            SingleLossModel(ds_u).chain_reach_probability(chain)
+        )
+
+    @given(
+        ds_u=st.integers(min_value=1, max_value=30),
+        ds_v=st.integers(min_value=0, max_value=35),
+    )
+    def test_success_prob_is_probability(self, ds_u, ds_v):
+        p = SingleLossModel(ds_u).success_prob(ds_v)
+        assert 0.0 <= p <= 1.0

@@ -1,0 +1,236 @@
+"""Tests for the strategy graph (Definition 1) and its restrictions."""
+
+import pytest
+
+from repro.core.candidates import Candidate
+from repro.core.objective import Attempt, expected_strategy_delay
+from repro.core.strategy_graph import START, StrategyGraph, StrategyRestrictions
+
+
+def make_graph(
+    ds_u=6,
+    specs=((4, 10.0), (2, 8.0), (1, 6.0)),
+    source_rtt=60.0,
+    timeout=30.0,
+    restrictions=None,
+):
+    candidates = [Candidate(node=100 + i, ds=ds, rtt=rtt) for i, (ds, rtt) in enumerate(specs)]
+    return StrategyGraph(
+        ds_u=ds_u,
+        candidates=candidates,
+        source_rtt=source_rtt,
+        timeouts=[timeout] * len(candidates),
+        restrictions=restrictions,
+    )
+
+
+class TestConstruction:
+    def test_rejects_non_descending_candidates(self):
+        with pytest.raises(ValueError):
+            make_graph(specs=((2, 1.0), (4, 1.0)))
+
+    def test_rejects_ds_at_or_above_ds_u(self):
+        with pytest.raises(ValueError):
+            make_graph(ds_u=4, specs=((4, 1.0),))
+
+    def test_rejects_timeout_count_mismatch(self):
+        with pytest.raises(ValueError):
+            StrategyGraph(
+                ds_u=3,
+                candidates=[Candidate(1, 1, 1.0)],
+                source_rtt=10.0,
+                timeouts=[],
+            )
+
+    def test_rejects_bad_ds_u(self):
+        with pytest.raises(ValueError):
+            make_graph(ds_u=0, specs=())
+
+    def test_node_indexing(self):
+        graph = make_graph()
+        assert graph.num_nodes == 5
+        assert graph.sink == 4
+        assert graph.candidate_at(1).ds == 4
+        with pytest.raises(ValueError):
+            graph.candidate_at(0)
+        with pytest.raises(ValueError):
+            graph.candidate_at(4)
+
+
+class TestEdgeWeights:
+    def test_direct_source_edge(self):
+        graph = make_graph()
+        assert graph.weight(START, graph.sink) == pytest.approx(60.0)
+
+    def test_start_to_candidate_is_eq1_cost(self):
+        graph = make_graph()
+        # First candidate: ds=4, ds_u=6 -> success 1/3.
+        expected = (1 / 3) * 10.0 + (2 / 3) * 30.0
+        assert graph.weight(START, 1) == pytest.approx(expected)
+
+    def test_candidate_to_candidate_weight(self):
+        graph = make_graph()
+        # From ds=4 to ds=2: reach 4/6, success (4-2)/4 = 1/2.
+        expected = (4 / 6) * (0.5 * 8.0 + 0.5 * 30.0)
+        assert graph.weight(1, 2) == pytest.approx(expected)
+
+    def test_candidate_to_sink_weight(self):
+        graph = make_graph()
+        # From ds=1: reach 1/6 times source rtt.
+        assert graph.weight(3, 4) == pytest.approx(60.0 / 6.0)
+
+    def test_no_backward_or_self_edges(self):
+        graph = make_graph()
+        assert graph.weight(2, 1) is None
+        assert graph.weight(2, 2) is None
+        assert graph.weight(graph.sink, 1) is None
+        assert graph.weight(1, START) is None
+
+    def test_edges_from_start_cover_everything(self):
+        graph = make_graph()
+        targets = [j for j, _ in graph.edges_from(START)]
+        assert targets == [1, 2, 3, 4]
+
+    def test_edge_count_quadratic(self):
+        graph = make_graph()
+        # N=3: start->4 edges, v1->3, v2->2, v3->1 = 10.
+        assert len(graph.edge_list()) == 10
+
+    def test_path_delay_equals_objective(self):
+        graph = make_graph()
+        attempts = [
+            Attempt(ds=4, rtt=10.0, timeout=30.0),
+            Attempt(ds=1, rtt=6.0, timeout=30.0),
+        ]
+        objective = expected_strategy_delay(6, attempts, 60.0)
+        assert graph.path_delay([1, 3]) == pytest.approx(objective)
+
+    def test_path_delay_rejects_missing_edges(self):
+        graph = make_graph()
+        with pytest.raises(ValueError):
+            graph.path_delay([3, 1])
+
+    def test_ds_zero_candidate_outgoing_sink_weight_zero(self):
+        graph = make_graph(specs=((3, 5.0), (0, 2.0)))
+        # ds=0 candidate: reach beyond it is impossible.
+        assert graph.weight(2, graph.sink) == pytest.approx(0.0)
+
+
+class TestRestrictions:
+    def test_forbid_direct_source_removes_edge(self):
+        graph = make_graph(
+            restrictions=StrategyRestrictions(forbid_direct_source=True)
+        )
+        assert graph.weight(START, graph.sink) is None
+        # Candidate edges unaffected.
+        assert graph.weight(START, 1) is not None
+        assert graph.weight(1, graph.sink) is not None
+
+    def test_forbidden_peers_removed(self):
+        graph = make_graph(
+            restrictions=StrategyRestrictions(forbidden_peers=frozenset({101}))
+        )
+        remaining = [c.node for c in graph.candidates]
+        assert remaining == [100, 102]
+        assert graph.num_nodes == 4
+
+    def test_max_list_length_validation(self):
+        with pytest.raises(ValueError):
+            StrategyRestrictions(max_list_length=-1)
+
+    def test_restrictions_default_everything_allowed(self):
+        r = StrategyRestrictions()
+        assert not r.forbid_direct_source
+        assert not r.forbidden_peers
+        assert r.max_list_length is None
+
+
+class TestGraphProperties:
+    """Hypothesis invariants over random strategy graphs."""
+
+    @staticmethod
+    def _random_graph(data):
+        from hypothesis import strategies as st
+
+        ds_u = data.draw(st.integers(min_value=1, max_value=12))
+        ds_values = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=ds_u - 1),
+                max_size=6,
+                unique=True,
+            ).map(lambda xs: sorted(xs, reverse=True))
+        )
+        candidates = [
+            Candidate(
+                node=100 + i,
+                ds=ds,
+                rtt=data.draw(st.floats(min_value=0.0, max_value=100.0)),
+            )
+            for i, ds in enumerate(ds_values)
+        ]
+        timeouts = [
+            data.draw(st.floats(min_value=0.0, max_value=100.0))
+            for _ in candidates
+        ]
+        source_rtt = data.draw(st.floats(min_value=0.0, max_value=500.0))
+        return StrategyGraph(
+            ds_u=ds_u,
+            candidates=candidates,
+            source_rtt=source_rtt,
+            timeouts=timeouts,
+        )
+
+    def test_all_edge_weights_non_negative(self):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=100, deadline=None)
+        @given(data=st.data())
+        def run(data):
+            graph = self._random_graph(data)
+            for _, _, w in graph.edge_list():
+                assert w >= 0.0
+
+        run()
+
+    def test_edge_count_formula(self):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=50, deadline=None)
+        @given(data=st.data())
+        def run(data):
+            graph = self._random_graph(data)
+            n = graph.sink - 1
+            # start: n+1 edges; candidate i (1-indexed): n - i + 1 edges.
+            expected = (n + 1) + sum(n - i + 1 for i in range(1, n + 1))
+            assert len(graph.edge_list()) == expected
+
+        run()
+
+    def test_full_chain_delay_matches_descending_closed_form(self):
+        from hypothesis import given, settings, strategies as st
+        from repro.core.objective import (
+            Attempt,
+            expected_strategy_delay_descending,
+        )
+
+        @settings(max_examples=80, deadline=None)
+        @given(data=st.data())
+        def run(data):
+            graph = self._random_graph(data)
+            n = graph.sink - 1
+            if n == 0:
+                return
+            attempts = []
+            for index in range(1, n + 1):
+                c = graph.candidate_at(index)
+                attempts.append(
+                    Attempt(ds=c.ds, rtt=c.rtt,
+                            timeout=graph._timeouts[index - 1])
+                )
+            via_graph = graph.path_delay(list(range(1, n + 1)))
+            via_formula = expected_strategy_delay_descending(
+                graph.ds_u, attempts, graph.source_rtt
+            )
+            assert via_graph == pytest.approx(via_formula, rel=1e-9, abs=1e-9)
+
+        run()

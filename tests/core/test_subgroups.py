@@ -1,0 +1,155 @@
+"""Tests for the static subgrouping strategies (paper section 2.2 / [4])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.subgroups import (
+    DepthSubgrouping,
+    SizeCappedSubgrouping,
+    TopLevelSubgrouping,
+)
+from repro.net.generators import TopologyConfig, random_backbone
+from repro.net.mcast_tree import random_multicast_tree
+
+
+def make_tree(seed=71, routers=40):
+    topo = random_backbone(
+        TopologyConfig(num_routers=routers), np.random.default_rng(seed)
+    )
+    return random_multicast_tree(topo, np.random.default_rng(seed + 1))
+
+
+class TestTopLevel:
+    def test_partition_valid(self):
+        tree = make_tree()
+        strategy = TopLevelSubgrouping(tree)
+        strategy.validate()
+
+    def test_matches_tree_method(self):
+        tree = make_tree()
+        strategy = TopLevelSubgrouping(tree)
+        for client in tree.clients:
+            assert strategy.subgroup_root(client) == tree.top_level_subgroup(client)
+
+
+class TestDepth:
+    def test_partition_valid_at_various_depths(self):
+        tree = make_tree()
+        for depth in (1, 2, 3, 5):
+            DepthSubgrouping(tree, depth).validate()
+
+    def test_depth_one_equals_top_level(self):
+        tree = make_tree()
+        d1 = DepthSubgrouping(tree, 1)
+        top = TopLevelSubgrouping(tree)
+        for client in tree.clients:
+            assert d1.subgroup_root(client) == top.subgroup_root(client)
+
+    def test_roots_at_requested_depth(self):
+        tree = make_tree()
+        strategy = DepthSubgrouping(tree, 3)
+        for client in tree.clients:
+            root = strategy.subgroup_root(client)
+            assert tree.depth(root) == min(3, tree.depth(client))
+
+    def test_deeper_grouping_is_finer(self):
+        tree = make_tree()
+        shallow = len(DepthSubgrouping(tree, 1).subgroups())
+        deep = len(DepthSubgrouping(tree, 4).subgroups())
+        assert deep >= shallow
+
+    def test_rejects_bad_depth(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            DepthSubgrouping(tree, 0)
+
+
+class TestSizeCapped:
+    def test_partition_valid(self):
+        tree = make_tree()
+        for cap in (1, 3, 10, 1000):
+            SizeCappedSubgrouping(tree, cap).validate()
+
+    def test_cap_respected(self):
+        tree = make_tree()
+        cap = 4
+        strategy = SizeCappedSubgrouping(tree, cap)
+        for root, members in strategy.subgroups().items():
+            assert len(members) <= cap
+
+    def test_huge_cap_single_group(self):
+        tree = make_tree()
+        strategy = SizeCappedSubgrouping(tree, 10_000)
+        assert len(strategy.subgroups()) == 1
+
+    def test_cap_one_isolates_every_client(self):
+        tree = make_tree()
+        strategy = SizeCappedSubgrouping(tree, 1)
+        for members in strategy.subgroups().values():
+            assert len(members) == 1
+
+    def test_rejects_bad_cap(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            SizeCappedSubgrouping(tree, 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        cap=st.integers(min_value=1, max_value=12),
+    )
+    def test_property_valid_partition_with_cap(self, seed, cap):
+        tree = make_tree(seed=seed, routers=25)
+        strategy = SizeCappedSubgrouping(tree, cap)
+        strategy.validate()
+        for members in strategy.subgroups().values():
+            assert len(members) <= cap
+
+
+class TestRPIntegration:
+    def test_rp_with_depth_subgrouping_reliable(self):
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import build_scenario, run_protocol
+        from repro.protocols.rp import RPConfig, RPProtocolFactory
+
+        config = ScenarioConfig(
+            seed=19, num_routers=30, loss_prob=0.08, num_packets=8,
+            max_events=5_000_000,
+        )
+        built = build_scenario(config)
+        factory = RPProtocolFactory(
+            RPConfig(subgrouping=lambda tree: DepthSubgrouping(tree, 2))
+        )
+        summary = run_protocol(built, factory)
+        assert summary.fully_recovered
+
+    def test_finer_subgroups_cheaper_source_repairs(self):
+        """With forced source-only recovery, depth-3 subgroups multicast
+        into smaller subtrees than top-level ones."""
+        from repro.core.strategy_graph import StrategyRestrictions
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import build_scenario, run_protocol
+        from repro.protocols.rp import RPConfig, RPProtocolFactory
+
+        config = ScenarioConfig(
+            seed=19, num_routers=60, loss_prob=0.05, num_packets=10,
+            max_events=5_000_000, lossless_recovery=True,
+        )
+        built = build_scenario(config)
+        results = {}
+        for name, subgrouping in (
+            ("top", None),
+            ("depth3", lambda tree: DepthSubgrouping(tree, 3)),
+        ):
+            factory = RPProtocolFactory(RPConfig(
+                restrictions=StrategyRestrictions(
+                    forbidden_peers=frozenset(built.tree.clients)
+                ),
+                subgrouping=subgrouping,
+            ))
+            results[name] = run_protocol(built, factory)
+            assert results[name].fully_recovered
+        assert (
+            results["depth3"].recovery_hops < results["top"].recovery_hops
+        )

@@ -1,0 +1,46 @@
+"""Tests for timeout policies."""
+
+import pytest
+
+from repro.core.timeouts import FixedTimeout, ProportionalTimeout
+
+
+class TestFixedTimeout:
+    def test_constant(self):
+        policy = FixedTimeout(75.0)
+        assert policy.timeout(1.0) == 75.0
+        assert policy.timeout(1000.0) == 75.0
+        assert policy.t0 == 75.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            FixedTimeout(0.0)
+        with pytest.raises(ValueError):
+            FixedTimeout(-5.0)
+
+    def test_repr(self):
+        assert "75.0" in repr(FixedTimeout(75.0))
+
+
+class TestProportionalTimeout:
+    def test_scales_with_rtt(self):
+        policy = ProportionalTimeout(factor=2.0, slack=3.0)
+        assert policy.timeout(10.0) == pytest.approx(23.0)
+        assert policy.factor == 2.0
+        assert policy.slack == 3.0
+
+    def test_timeout_exceeds_rtt(self):
+        policy = ProportionalTimeout()
+        for rtt in (0.0, 1.0, 50.0, 1000.0):
+            assert policy.timeout(rtt) > rtt
+
+    def test_rejects_factor_below_one(self):
+        with pytest.raises(ValueError):
+            ProportionalTimeout(factor=0.9)
+
+    def test_rejects_negative_slack(self):
+        with pytest.raises(ValueError):
+            ProportionalTimeout(slack=-1.0)
+
+    def test_repr(self):
+        assert "1.5" in repr(ProportionalTimeout(factor=1.5))

@@ -1,0 +1,72 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import MARKERS, plot_series
+from repro.experiments.figures import FigureSeries
+
+
+def series(protocol="RP", xs=(0.0, 1.0, 2.0), ys=(0.0, 1.0, 4.0)):
+    return FigureSeries(protocol=protocol, xs=list(xs), ys=list(ys))
+
+
+class TestPlotSeries:
+    def test_contains_markers_and_legend(self):
+        out = plot_series([series("RP"), series("SRM", ys=(4.0, 2.0, 0.0))])
+        assert MARKERS[0] in out
+        assert MARKERS[1] in out
+        assert "RP" in out and "SRM" in out
+
+    def test_axis_extremes_labelled(self):
+        out = plot_series([series(xs=(2.0, 10.0), ys=(5.0, 50.0))])
+        assert "2" in out and "10" in out
+        assert "50.00" in out and "5.00" in out
+
+    def test_monotone_series_renders_monotone(self):
+        out = plot_series([series(xs=(0, 1, 2, 3), ys=(0, 1, 2, 3))],
+                          width=20, height=10)
+        rows = [line[12:] for line in out.splitlines()[:10]]
+        positions = {}
+        for r, line in enumerate(rows):
+            for c, ch in enumerate(line):
+                if ch == MARKERS[0]:
+                    positions[c] = r
+        cols = sorted(positions)
+        # Higher x -> higher y -> smaller row index.
+        assert all(positions[a] > positions[b]
+                   for a, b in zip(cols, cols[1:]))
+
+    def test_flat_series_supported(self):
+        out = plot_series([series(ys=(3.0, 3.0, 3.0))])
+        assert MARKERS[0] in out
+
+    def test_single_point(self):
+        out = plot_series([series(xs=(1.0,), ys=(2.0,))])
+        assert MARKERS[0] in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            plot_series([])
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            plot_series([series()], width=2, height=2)
+
+    def test_labels_included(self):
+        out = plot_series([series()], x_label="loss %", y_label="ms")
+        assert "x: loss %" in out and "y: ms" in out
+
+    def test_cli_plot_flag(self, capsys, monkeypatch):
+        import repro.cli as cli
+        import repro.experiments.figures as figures
+
+        monkeypatch.setattr(
+            cli, "run_loss_sweep",
+            lambda **kw: figures.run_loss_sweep(
+                loss_probs=(0.05, 0.1), num_routers=15, **kw
+            ),
+        )
+        rc = cli.main(["figure", "7", "--packets", "5", "--plot"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "later series overplot earlier" in out

@@ -1,0 +1,72 @@
+"""Tests for the reproduction campaign orchestrator."""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import PAPER_REFERENCES, run_campaign
+from repro.experiments.persistence import load_sweep
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    out = tmp_path_factory.mktemp("campaign")
+    return run_campaign(
+        out,
+        num_packets=5,
+        seeds=(3,),
+        client_routers=(15, 25),
+        loss_probs=(0.05, 0.1),
+        progress=lambda *_: None,
+    ), out
+
+
+class TestCampaign:
+    def test_report_written_with_all_figures(self, campaign):
+        result, _ = campaign
+        text = result.report_path.read_text()
+        for figure in (5, 6, 7, 8):
+            assert f"## Figure {figure}" in text
+        assert "vs SRM" in text and "vs RMA" in text
+        assert "paper" in text and "measured" in text
+
+    def test_sweeps_persisted_and_loadable(self, campaign):
+        result, _ = campaign
+        for path in result.sweep_paths.values():
+            assert path.exists()
+            sweep = load_sweep(path)
+            assert sweep.protocols == ["SRM", "RMA", "RP"]
+
+    def test_sweep_objects_returned(self, campaign):
+        result, _ = campaign
+        assert len(result.client_sweep.points) == 2
+        assert len(result.loss_sweep.points) == 2
+
+    def test_paper_references_cover_all_figures(self):
+        assert sorted(r.figure for r in PAPER_REFERENCES) == [5, 6, 7, 8]
+
+    def test_json_files_valid(self, campaign):
+        result, _ = campaign
+        for path in result.sweep_paths.values():
+            json.loads(path.read_text())
+
+
+class TestCampaignCli:
+    def test_cli_campaign_small(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+        import repro.experiments.campaign as campaign_mod
+
+        original = campaign_mod.run_campaign
+
+        def tiny_campaign(out, **kwargs):
+            kwargs.setdefault("client_routers", (15,))
+            kwargs.setdefault("loss_probs", (0.05,))
+            kwargs["num_packets"] = 4
+            return original(out, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.experiments.campaign.run_campaign", tiny_campaign
+        )
+        rc = cli.main(["campaign", "--out", str(tmp_path / "r")])
+        assert rc == 0
+        assert (tmp_path / "r" / "REPORT.md").exists()

@@ -1,0 +1,79 @@
+"""Tests for sweep persistence (JSON round trips + CLI integration)."""
+
+import json
+
+import pytest
+
+from repro.experiments.figures import run_loss_sweep
+from repro.experiments.persistence import (
+    SCHEMA_VERSION,
+    load_sweep,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.experiments.report import render_figure
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_loss_sweep(
+        loss_probs=(0.05, 0.1), num_routers=15, num_packets=5, seeds=(2,)
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_series(self, small_sweep):
+        restored = sweep_from_dict(sweep_to_dict(small_sweep))
+        for a, b in zip(
+            small_sweep.latency_series(), restored.latency_series()
+        ):
+            assert a.protocol == b.protocol
+            assert a.xs == b.xs
+            assert a.ys == b.ys
+
+    def test_file_round_trip(self, small_sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(small_sweep, path)
+        restored = load_sweep(path)
+        assert restored.x_label == small_sweep.x_label
+        assert restored.protocols == small_sweep.protocols
+        for metric in ("latency", "bandwidth"):
+            assert restored.overall_mean("RP", metric) == pytest.approx(
+                small_sweep.overall_mean("RP", metric)
+            )
+
+    def test_rendering_works_on_loaded_sweep(self, small_sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(small_sweep, path)
+        text = render_figure(load_sweep(path), "latency", "Figure 7", "ms")
+        assert "Figure 7" in text
+
+    def test_json_is_valid_and_versioned(self, small_sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(small_sweep, path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA_VERSION
+
+    def test_wrong_schema_rejected(self, small_sweep):
+        data = sweep_to_dict(small_sweep)
+        data["schema"] = 999
+        with pytest.raises(ValueError):
+            sweep_from_dict(data)
+
+
+class TestCliIntegration:
+    def test_save_then_load(self, small_sweep, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "run_loss_sweep", lambda **kw: small_sweep)
+        path = tmp_path / "fig7.json"
+        rc = cli.main(["figure", "7", "--save", str(path)])
+        assert rc == 0
+        assert path.exists()
+        capsys.readouterr()
+        rc = cli.main(["figure", "7", "--load", str(path), "--plot"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "overplot" in out

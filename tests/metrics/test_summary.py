@@ -1,0 +1,81 @@
+"""Tests for run summaries and aggregation."""
+
+import pytest
+
+from repro.metrics.collectors import BandwidthLedger, RecoveryLog
+from repro.metrics.summary import RunSummary, aggregate_summaries, summarize_run
+from repro.sim.packet import PacketKind
+
+
+def make_summary(protocol="RP", latency=10.0, bandwidth=5.0, detected=4,
+                 recovered=4, clients=3):
+    return RunSummary(
+        protocol=protocol,
+        num_clients=clients,
+        num_packets=10,
+        losses_detected=detected,
+        losses_recovered=recovered,
+        avg_latency=latency,
+        p50_latency=latency,
+        p95_latency=latency * 2,
+        recovery_hops=int(bandwidth * recovered),
+        bandwidth_per_recovery=bandwidth,
+        data_hops=100,
+        sim_time=500.0,
+        events_processed=1000,
+    )
+
+
+class TestSummarizeRun:
+    def test_values_derived_from_collectors(self):
+        log = RecoveryLog()
+        log.loss_detected(1, 0, 0.0)
+        log.recovered(1, 0, 10.0)
+        log.loss_detected(2, 0, 0.0)
+        log.recovered(2, 0, 30.0)
+        ledger = BandwidthLedger()
+        for _ in range(8):
+            ledger.charge_hop(PacketKind.REQUEST)
+        summary = summarize_run("RP", 2, 5, log, ledger, 100.0, 42)
+        assert summary.avg_latency == pytest.approx(20.0)
+        assert summary.bandwidth_per_recovery == pytest.approx(4.0)
+        assert summary.fully_recovered
+
+    def test_zero_recoveries_no_division_error(self):
+        summary = summarize_run(
+            "RP", 2, 5, RecoveryLog(), BandwidthLedger(), 1.0, 0
+        )
+        assert summary.bandwidth_per_recovery == 0.0
+        assert summary.avg_latency == 0.0
+
+    def test_unrecovered_loss_flagged(self):
+        log = RecoveryLog()
+        log.loss_detected(1, 0, 0.0)
+        summary = summarize_run("RP", 1, 1, log, BandwidthLedger(), 1.0, 1)
+        assert not summary.fully_recovered
+
+
+class TestAggregate:
+    def test_means(self):
+        agg = aggregate_summaries(
+            [make_summary(latency=10.0, bandwidth=4.0),
+             make_summary(latency=20.0, bandwidth=8.0)]
+        )
+        assert agg.mean_latency == pytest.approx(15.0)
+        assert agg.mean_bandwidth_per_recovery == pytest.approx(6.0)
+        assert agg.num_runs == 2
+        assert agg.all_fully_recovered
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_summaries([])
+
+    def test_rejects_mixed_protocols(self):
+        with pytest.raises(ValueError):
+            aggregate_summaries([make_summary("RP"), make_summary("SRM")])
+
+    def test_partial_recovery_propagates(self):
+        agg = aggregate_summaries(
+            [make_summary(), make_summary(detected=5, recovered=4)]
+        )
+        assert not agg.all_fully_recovered

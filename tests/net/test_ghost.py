@@ -1,0 +1,79 @@
+"""Tests for the shared-link (ghost node) rewrite of section 2.2 / Fig 2."""
+
+import pytest
+
+from repro.net.ghost import SharedLink, expand_shared_links, spoke_loss_prob
+from repro.net.topology import NodeKind, Topology
+
+
+@pytest.fixture
+def base_topo():
+    topo = Topology()
+    topo.add_nodes(4, NodeKind.ROUTER)
+    topo.add_link(0, 1, delay=2.0)
+    return topo
+
+
+class TestSharedLinkValidation:
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            SharedLink(attached=(1,), delay=1.0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SharedLink(attached=(1, 1, 2), delay=1.0)
+
+    def test_rejects_bad_delay_and_loss(self):
+        with pytest.raises(ValueError):
+            SharedLink(attached=(1, 2), delay=0.0)
+        with pytest.raises(ValueError):
+            SharedLink(attached=(1, 2), delay=1.0, loss_prob=1.0)
+
+
+class TestExpansion:
+    def test_ghost_node_added_with_spokes(self, base_topo):
+        shared = [SharedLink(attached=(1, 2, 3), delay=4.0)]
+        out, ghosts = expand_shared_links(base_topo, shared)
+        ghost = ghosts[0]
+        assert out.kind(ghost) is NodeKind.GHOST
+        assert sorted(out.neighbors(ghost)) == [1, 2, 3]
+
+    def test_original_structure_preserved(self, base_topo):
+        out, _ = expand_shared_links(
+            base_topo, [SharedLink(attached=(2, 3), delay=1.0)]
+        )
+        assert out.has_link(0, 1)
+        assert out.link_between(0, 1).delay == 2.0
+        # Input topology untouched.
+        assert base_topo.num_nodes == 4
+
+    def test_end_to_end_delay_preserved(self, base_topo):
+        shared = [SharedLink(attached=(1, 2, 3), delay=4.0)]
+        out, ghosts = expand_shared_links(base_topo, shared)
+        ghost = ghosts[0]
+        # Crossing the medium = two spokes of delay/2 each.
+        assert out.path_delay([1, ghost, 2]) == pytest.approx(4.0)
+
+    def test_loss_probability_composition(self):
+        p = 0.2
+        spoke = spoke_loss_prob(p)
+        # Two independent spokes reproduce the medium loss probability.
+        assert 1.0 - (1.0 - spoke) ** 2 == pytest.approx(p)
+
+    def test_zero_loss_zero_spoke(self):
+        assert spoke_loss_prob(0.0) == 0.0
+
+    def test_multiple_shared_links(self, base_topo):
+        shared = [
+            SharedLink(attached=(0, 1), delay=1.0),
+            SharedLink(attached=(2, 3), delay=2.0),
+        ]
+        out, ghosts = expand_shared_links(base_topo, shared)
+        assert len(ghosts) == 2
+        assert out.num_nodes == 6
+
+    def test_unknown_node_rejected(self, base_topo):
+        with pytest.raises(ValueError):
+            expand_shared_links(
+                base_topo, [SharedLink(attached=(0, 99), delay=1.0)]
+            )

@@ -1,0 +1,67 @@
+"""Tests for the ASCII tree renderer."""
+
+import numpy as np
+
+from repro.core.planner import RPPlanner
+from repro.net.generators import TopologyConfig, random_backbone
+from repro.net.mcast_tree import MulticastTree, random_multicast_tree
+from repro.net.render import render_tree
+from repro.net.routing import RoutingTable
+from repro.net.topology import NodeKind, Topology
+
+
+def small_tree():
+    topo = Topology()
+    r0, r1 = topo.add_nodes(2, NodeKind.ROUTER)
+    s = topo.add_node(NodeKind.SOURCE)
+    ca, cb = topo.add_nodes(2, NodeKind.CLIENT)
+    topo.add_link(s, r0, 1.5)
+    topo.add_link(r0, r1, 2.0)
+    topo.add_link(r1, ca, 1.0)
+    topo.add_link(r0, cb, 3.0)
+    return topo, MulticastTree(topo, s, {r0: s, r1: r0, ca: r1, cb: r0})
+
+
+class TestRenderTree:
+    def test_every_member_appears(self):
+        _, tree = small_tree()
+        out = render_tree(tree)
+        for node in tree.members:
+            assert str(node) in out
+
+    def test_roles_tagged(self):
+        _, tree = small_tree()
+        out = render_tree(tree)
+        assert "S2" in out
+        assert "r0" in out
+        assert "c3" in out
+
+    def test_link_delays_shown(self):
+        _, tree = small_tree()
+        out = render_tree(tree)
+        assert "(1.5ms)" in out
+        assert "(3ms)" in out
+
+    def test_strategy_annotations(self):
+        topo, tree = small_tree()
+        routing = RoutingTable(topo)
+        strategy = RPPlanner(tree, routing).plan(3)
+        out = render_tree(tree, strategy=strategy)
+        assert "<= client" in out
+        if strategy.peer_nodes:
+            assert "<= peer #1" in out
+
+    def test_max_depth_truncates(self):
+        topo = random_backbone(
+            TopologyConfig(num_routers=40), np.random.default_rng(2)
+        )
+        tree = random_multicast_tree(topo, np.random.default_rng(3))
+        full = render_tree(tree)
+        short = render_tree(tree, max_depth=1)
+        assert len(short.splitlines()) < len(full.splitlines())
+        assert "hidden" in short
+
+    def test_line_count_matches_members_without_truncation(self):
+        _, tree = small_tree()
+        out = render_tree(tree)
+        assert len(out.splitlines()) == tree.num_members

@@ -1,0 +1,164 @@
+"""Tests for expected-delay unicast routing, cross-checked against
+networkx Dijkstra as an independent oracle."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.net.generators import TopologyConfig, grid_topology, random_backbone
+from repro.net.routing import RoutingTable
+from repro.net.topology import Topology
+
+
+def to_networkx(topo: Topology) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(topo.num_nodes))
+    for link in topo.links:
+        g.add_edge(link.u, link.v, weight=link.delay)
+    return g
+
+
+@pytest.fixture
+def diamond():
+    """0-1-3 (cost 2) vs 0-2-3 (cost 5), plus slow direct 0-3."""
+    topo = Topology()
+    topo.add_nodes(4)
+    topo.add_link(0, 1, delay=1.0)
+    topo.add_link(1, 3, delay=1.0)
+    topo.add_link(0, 2, delay=2.0)
+    topo.add_link(2, 3, delay=3.0)
+    topo.add_link(0, 3, delay=10.0)
+    return topo
+
+
+class TestRoutingBasics:
+    def test_shortest_delay(self, diamond):
+        table = RoutingTable(diamond)
+        assert table.delay(0, 3) == pytest.approx(2.0)
+
+    def test_path_nodes(self, diamond):
+        table = RoutingTable(diamond)
+        assert table.path(0, 3) == [0, 1, 3]
+
+    def test_path_to_self(self, diamond):
+        table = RoutingTable(diamond)
+        assert table.path(2, 2) == [2]
+        assert table.delay(2, 2) == 0.0
+
+    def test_rtt_is_twice_delay(self, diamond):
+        table = RoutingTable(diamond)
+        assert table.rtt(0, 3) == pytest.approx(4.0)
+
+    def test_next_hop(self, diamond):
+        table = RoutingTable(diamond)
+        assert table.next_hop(0, 3) == 1
+        assert table.next_hop(1, 0) == 0
+
+    def test_next_hop_self_raises(self, diamond):
+        with pytest.raises(ValueError):
+            RoutingTable(diamond).next_hop(2, 2)
+
+    def test_hop_count(self, diamond):
+        table = RoutingTable(diamond)
+        assert table.hop_count(0, 3) == 2
+        assert table.hop_count(0, 0) == 0
+
+    def test_unreachable(self):
+        topo = Topology()
+        topo.add_nodes(3)
+        topo.add_link(0, 1, delay=1.0)
+        table = RoutingTable(topo)
+        assert not table.reachable(0, 2)
+        assert math.isinf(table.delay(0, 2))
+        with pytest.raises(ValueError):
+            table.path(0, 2)
+        with pytest.raises(ValueError):
+            table.next_hop(0, 2)
+
+    def test_unknown_node_raises(self, diamond):
+        with pytest.raises(ValueError):
+            RoutingTable(diamond).delay(99, 0)
+
+    def test_eccentricity(self, diamond):
+        table = RoutingTable(diamond)
+        # From 0: d(0,1)=1, d(0,2)=2, d(0,3)=2 -> eccentricity 2.
+        assert table.eccentricity(0) == pytest.approx(2.0)
+
+    def test_path_delay_consistency(self, diamond):
+        table = RoutingTable(diamond)
+        for u in range(4):
+            for v in range(4):
+                assert diamond.path_delay(table.path(u, v)) == pytest.approx(
+                    table.delay(u, v)
+                )
+
+
+class TestRoutingAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_distances_match_networkx(self, seed):
+        topo = random_backbone(
+            TopologyConfig(num_routers=30), np.random.default_rng(seed)
+        )
+        table = RoutingTable(topo)
+        g = to_networkx(topo)
+        lengths = dict(nx.all_pairs_dijkstra_path_length(g))
+        for u in range(topo.num_nodes):
+            for v in range(topo.num_nodes):
+                assert table.delay(u, v) == pytest.approx(lengths[u][v])
+
+    def test_paths_are_valid_and_optimal_on_grid(self):
+        topo = grid_topology(4, 5)
+        table = RoutingTable(topo)
+        g = to_networkx(topo)
+        for u in range(topo.num_nodes):
+            for v in range(topo.num_nodes):
+                path = table.path(u, v)
+                # Path is a real walk in the graph.
+                for a, b in zip(path, path[1:]):
+                    assert topo.has_link(a, b)
+                # And its cost is optimal.
+                assert topo.path_delay(path) == pytest.approx(
+                    nx.dijkstra_path_length(g, u, v)
+                )
+
+    def test_symmetry(self):
+        topo = random_backbone(
+            TopologyConfig(num_routers=20), np.random.default_rng(5)
+        )
+        table = RoutingTable(topo)
+        for u in range(0, topo.num_nodes, 3):
+            for v in range(0, topo.num_nodes, 3):
+                assert table.delay(u, v) == pytest.approx(table.delay(v, u))
+
+    def test_triangle_inequality(self):
+        topo = random_backbone(
+            TopologyConfig(num_routers=20), np.random.default_rng(9)
+        )
+        table = RoutingTable(topo)
+        nodes = list(range(0, topo.num_nodes, 4))
+        for u in nodes:
+            for v in nodes:
+                for w in nodes:
+                    assert (
+                        table.delay(u, w)
+                        <= table.delay(u, v) + table.delay(v, w) + 1e-9
+                    )
+
+    def test_next_hop_consistent_with_path(self):
+        topo = random_backbone(
+            TopologyConfig(num_routers=25), np.random.default_rng(3)
+        )
+        table = RoutingTable(topo)
+        for u in range(0, topo.num_nodes, 2):
+            for v in range(0, topo.num_nodes, 2):
+                if u == v:
+                    continue
+                hop = table.next_hop(u, v)
+                # Stepping to the next hop shortens the remaining delay
+                # by exactly the link cost (no detours).
+                link = topo.link_between(u, hop)
+                assert table.delay(u, v) == pytest.approx(
+                    link.delay + table.delay(hop, v)
+                )

@@ -1,0 +1,86 @@
+"""Hypothesis property tests over random multicast trees.
+
+Geometry invariants the planner and protocols silently rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.generators import TopologyConfig, random_backbone
+from repro.net.mcast_tree import random_multicast_tree
+
+
+def build(seed, routers=25):
+    topo = random_backbone(
+        TopologyConfig(num_routers=routers), np.random.default_rng(seed)
+    )
+    tree = random_multicast_tree(topo, np.random.default_rng(seed + 10_000))
+    return topo, tree
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2_000), data=st.data())
+def test_tree_path_properties(seed, data):
+    topo, tree = build(seed)
+    members = tree.members
+    u = data.draw(st.sampled_from(members))
+    v = data.draw(st.sampled_from(members))
+    path = tree.tree_path(u, v)
+    # Endpoints and adjacency.
+    assert path[0] == u and path[-1] == v
+    for a, b in zip(path, path[1:]):
+        assert topo.has_link(a, b)
+    # Simple path: no repeats.
+    assert len(set(path)) == len(path)
+    # Symmetry.
+    assert tree.tree_path(v, u) == list(reversed(path))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2_000), data=st.data())
+def test_ds_and_lca_properties(seed, data):
+    _, tree = build(seed)
+    members = tree.members
+    u = data.draw(st.sampled_from(members))
+    v = data.draw(st.sampled_from(members))
+    lca = tree.first_common_router(u, v)
+    # The LCA is an ancestor of both.
+    assert tree.is_ancestor(lca, u)
+    assert tree.is_ancestor(lca, v)
+    # DS symmetry and bounds.
+    assert tree.ds(u, v) == tree.ds(v, u)
+    assert tree.ds(u, v) <= min(tree.depth(u), tree.depth(v))
+    # Path length decomposition through the LCA.
+    assert len(tree.tree_path(u, v)) - 1 == (
+        tree.depth(u) + tree.depth(v) - 2 * tree.ds(u, v)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2_000), data=st.data())
+def test_subtree_properties(seed, data):
+    _, tree = build(seed)
+    node = data.draw(st.sampled_from(tree.members))
+    subtree = tree.subtree_nodes(node)
+    # The node itself is included; all members are descendants.
+    assert node in subtree
+    for member in subtree:
+        assert tree.is_ancestor(node, member)
+    # Link count = members - 1 (it is a tree).
+    assert tree.subtree_link_count(node) == len(subtree) - 1
+    # Members outside are not descendants.
+    outside = set(tree.members) - set(subtree)
+    for member in list(outside)[:10]:
+        assert not tree.is_ancestor(node, member)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2_000))
+def test_depth_delay_consistency(seed):
+    topo, tree = build(seed)
+    for node in tree.members:
+        assert tree.depth(node) == len(tree.path_to_root(node)) - 1
+        assert tree.delay_from_root(node) == pytest.approx(
+            topo.path_delay(tree.path_from_root(node))
+        )

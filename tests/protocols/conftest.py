@@ -1,0 +1,55 @@
+"""Shared fixtures for protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.collectors import BandwidthLedger, RecoveryLog
+from repro.net.mcast_tree import MulticastTree
+from repro.net.routing import RoutingTable
+from repro.net.topology import NodeKind, Topology
+from repro.protocols.base import CompletionTracker
+from repro.sim.engine import EventQueue
+from repro.sim.network import SimNetwork
+
+
+class SmallWorld:
+    """S - r0 - {r1 - {cA, cB}, cC} — three clients, hand-checkable.
+
+    Ids: r0=0, r1=1, S=2, cA=3, cB=4, cC=5.  All link delays 1.0, so
+    depths: cA/cB at 4 hops... (S=0, r0=1, r1=2, cA=3).
+    """
+
+    def __init__(self, loss_prob=0.0, seed=0, num_packets=5):
+        topo = Topology()
+        r0, r1 = topo.add_nodes(2, NodeKind.ROUTER)
+        s = topo.add_node(NodeKind.SOURCE)
+        ca, cb, cc = topo.add_nodes(3, NodeKind.CLIENT)
+        topo.add_link(s, r0, 1.0, loss_prob)
+        topo.add_link(r0, r1, 1.0, loss_prob)
+        topo.add_link(r1, ca, 1.0, loss_prob)
+        topo.add_link(r1, cb, 1.0, loss_prob)
+        topo.add_link(r0, cc, 1.0, loss_prob)
+        self.topology = topo
+        self.tree = MulticastTree(
+            topo, s, {r0: s, r1: r0, ca: r1, cb: r1, cc: r0}
+        )
+        self.routing = RoutingTable(topo)
+        self.events = EventQueue()
+        self.ledger = BandwidthLedger()
+        self.log = RecoveryLog()
+        self.num_packets = num_packets
+        self.tracker = CompletionTracker(3, num_packets)
+        self.network = SimNetwork(
+            self.events,
+            topo,
+            self.routing,
+            self.tree,
+            loss_rng=np.random.default_rng(seed),
+            ledger=self.ledger,
+        )
+        self.S, self.CA, self.CB, self.CC = s, ca, cb, cc
+
+
+@pytest.fixture
+def world():
+    return SmallWorld()

@@ -1,0 +1,126 @@
+"""Tests for the naive list-construction baselines."""
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_scenario, run_protocol
+from repro.protocols.naive import (
+    NaiveConfig,
+    NearestPeerProtocolFactory,
+    RandomListProtocolFactory,
+)
+from repro.protocols.rp import RPClientAgent
+from repro.sim.rng import RngStreams
+
+
+class TestConfig:
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            NaiveConfig(list_length=-1)
+
+
+class TestListConstruction:
+    def test_nearest_lists_sorted_by_rtt(self, world):
+        factory = NearestPeerProtocolFactory(NaiveConfig(list_length=2))
+        factory.install(
+            world.network, world.log, world.tracker, RngStreams(0),
+            world.num_packets,
+        )
+        for client in world.tree.clients:
+            agent = world.network.agent_at(client)
+            assert isinstance(agent, RPClientAgent)
+            rtts = [c.rtt for c in agent.strategy.attempts]
+            assert rtts == sorted(rtts)
+            assert len(rtts) <= 2
+
+    def test_random_lists_have_requested_length(self, world):
+        factory = RandomListProtocolFactory(NaiveConfig(list_length=2))
+        factory.install(
+            world.network, world.log, world.tracker, RngStreams(0),
+            world.num_packets,
+        )
+        for client in world.tree.clients:
+            agent = world.network.agent_at(client)
+            peers = agent.strategy.peer_nodes
+            assert len(peers) == 2  # 2 other clients exist
+            assert client not in peers
+            assert len(set(peers)) == len(peers)
+
+    def test_random_lists_seeded(self, world):
+        lists = []
+        for _ in range(2):
+            from tests.protocols.conftest import SmallWorld
+
+            w = SmallWorld()
+            factory = RandomListProtocolFactory(NaiveConfig(list_length=2))
+            factory.install(
+                w.network, w.log, w.tracker, RngStreams(9), w.num_packets
+            )
+            lists.append(
+                {c: w.network.agent_at(c).strategy.peer_nodes
+                 for c in w.tree.clients}
+            )
+        assert lists[0] == lists[1]
+
+    def test_strategy_records_expected_delay(self, world):
+        factory = NearestPeerProtocolFactory()
+        factory.install(
+            world.network, world.log, world.tracker, RngStreams(0),
+            world.num_packets,
+        )
+        for client in world.tree.clients:
+            agent = world.network.agent_at(client)
+            assert agent.strategy.expected_delay > 0
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "factory_cls", [RandomListProtocolFactory, NearestPeerProtocolFactory]
+    )
+    def test_fully_reliable(self, factory_cls):
+        config = ScenarioConfig(
+            seed=13, num_routers=25, loss_prob=0.1, num_packets=8,
+            max_events=5_000_000,
+        )
+        built = build_scenario(config)
+        summary = run_protocol(built, factory_cls())
+        assert summary.fully_recovered
+        assert summary.losses_detected > 0
+
+
+class TestAnalyticComparison:
+    def test_planner_expected_delay_beats_naive_lists(self):
+        """The planner's objective value is optimal, so the naive lists'
+        recorded expected delays can never beat it — analytically, on
+        the same network, for every client."""
+        from repro.sim.rng import RngStreams
+        from tests.protocols.conftest import SmallWorld
+
+        import numpy as np
+        from repro.core.planner import RPPlanner
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import build_scenario
+
+        built = build_scenario(
+            ScenarioConfig(seed=31, num_routers=30, loss_prob=0.05)
+        )
+        planner = RPPlanner(built.tree, built.routing)
+        for factory_cls in (RandomListProtocolFactory, NearestPeerProtocolFactory):
+            from repro.metrics.collectors import RecoveryLog
+            from repro.protocols.base import CompletionTracker
+            from repro.sim.engine import EventQueue
+            from repro.sim.network import SimNetwork
+
+            events = EventQueue()
+            net = SimNetwork(
+                events, built.topology, built.routing, built.tree,
+                loss_rng=np.random.default_rng(0),
+            )
+            tracker = CompletionTracker(built.num_clients, 5)
+            factory_cls().install(
+                net, RecoveryLog(), tracker, RngStreams(3), 5
+            )
+            for client in built.clients:
+                agent = net.agent_at(client)
+                optimal = planner.plan(client).expected_delay
+                assert optimal <= agent.strategy.expected_delay + 1e-9

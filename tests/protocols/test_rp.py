@@ -1,0 +1,305 @@
+"""Tests for the RP protocol runtime: list execution, timeouts, source
+fallback, repair service, deduplication."""
+
+import pytest
+
+from repro.core.candidates import Candidate
+from repro.core.planner import RecoveryStrategy
+from repro.protocols.rp import RPClientAgent, RPConfig, RPProtocolFactory, RPSourceAgent
+from repro.sim.packet import Packet, PacketKind
+
+
+def make_strategy(client, peers, timeouts, source_rtt=20.0, ds_u=3):
+    attempts = tuple(Candidate(node=p, ds=ds, rtt=5.0) for p, ds in peers)
+    return RecoveryStrategy(
+        client=client,
+        attempts=attempts,
+        timeouts=tuple(timeouts),
+        source_rtt=source_rtt,
+        source_timeout=source_rtt * 1.5 + 1,
+        expected_delay=0.0,
+        ds_u=ds_u,
+    )
+
+
+class Sink:
+    """Captures packets delivered to a node."""
+
+    def __init__(self, events):
+        self.events = events
+        self.packets = []
+
+    def on_packet(self, packet):
+        self.packets.append((self.events.now, packet))
+
+
+def install_rp_client(world, strategy):
+    agent = RPClientAgent(
+        world.CA, world.network, world.log, world.tracker, world.num_packets,
+        strategy,
+    )
+    world.network.attach_agent(world.CA, agent)
+    return agent
+
+
+def data(seq):
+    return Packet(PacketKind.DATA, seq, origin=2)
+
+
+class TestListExecution:
+    def test_first_request_goes_to_first_peer(self, world):
+        strategy = make_strategy(world.CA, [(world.CB, 2), (world.CC, 1)],
+                                 [10.0, 10.0])
+        agent = install_rp_client(world, strategy)
+        sink_b = Sink(world.events)
+        world.network.attach_agent(world.CB, sink_b)
+        agent.on_packet(data(1))  # detect loss of 0
+        world.events.run(until=5.0)
+        kinds = [p.kind for _, p in sink_b.packets]
+        assert kinds == [PacketKind.REQUEST]
+
+    def test_timeout_advances_to_next_peer(self, world):
+        strategy = make_strategy(world.CA, [(world.CB, 2), (world.CC, 1)],
+                                 [4.0, 8.0])
+        agent = install_rp_client(world, strategy)
+        sink_c = Sink(world.events)
+        world.network.attach_agent(world.CC, sink_c)
+        # CB has no agent -> silent peer; CA times out after 4.0 and asks CC.
+        agent.on_packet(data(1))
+        world.events.run(until=20.0)
+        assert [p.kind for _, p in sink_c.packets] == [PacketKind.REQUEST]
+        assert sink_c.packets[0][0] >= 4.0
+
+    def test_exhausted_list_requests_source(self, world):
+        strategy = make_strategy(world.CA, [(world.CB, 2)], [3.0])
+        agent = install_rp_client(world, strategy)
+        sink_s = Sink(world.events)
+        world.network.attach_agent(world.S, sink_s)
+        agent.on_packet(data(1))
+        world.events.run(until=30.0)
+        assert PacketKind.REQUEST in [p.kind for _, p in sink_s.packets]
+
+    def test_empty_list_goes_straight_to_source(self, world):
+        strategy = make_strategy(world.CA, [], [])
+        agent = install_rp_client(world, strategy)
+        sink_s = Sink(world.events)
+        world.network.attach_agent(world.S, sink_s)
+        agent.on_packet(data(1))
+        world.events.run(until=10.0)
+        assert [p.kind for _, p in sink_s.packets] == [PacketKind.REQUEST]
+
+    def test_source_request_retried_until_answered(self, world):
+        strategy = make_strategy(world.CA, [], [])
+        agent = install_rp_client(world, strategy)
+        sink_s = Sink(world.events)
+        world.network.attach_agent(world.S, sink_s)  # never replies
+        agent.on_packet(data(1))
+        world.events.run(until=200.0)
+        requests = [p for _, p in sink_s.packets if p.kind is PacketKind.REQUEST]
+        assert len(requests) >= 3
+
+    def test_repair_cancels_pending_timer(self, world):
+        strategy = make_strategy(world.CA, [(world.CB, 2), (world.CC, 1)],
+                                 [50.0, 50.0])
+        agent = install_rp_client(world, strategy)
+        sink_c = Sink(world.events)
+        world.network.attach_agent(world.CC, sink_c)
+        agent.on_packet(data(1))
+        # Repair arrives before CB's timeout.
+        agent.on_packet(Packet(PacketKind.REPAIR, 0, origin=world.CB))
+        world.events.run(until=200.0)
+        assert sink_c.packets == []  # second attempt never happened
+        assert world.log.is_recovered(world.CA, 0)
+
+
+class TestPeerService:
+    def test_peer_with_packet_unicasts_repair(self, world):
+        strategy = make_strategy(world.CA, [], [])
+        agent = install_rp_client(world, strategy)
+        agent.on_packet(data(0))  # CA now has seq 0
+        sink_b = Sink(world.events)
+        world.network.attach_agent(world.CB, sink_b)
+        agent.on_packet(Packet(PacketKind.REQUEST, 0, origin=world.CB))
+        world.events.run(until=10.0)
+        repairs = [p for _, p in sink_b.packets if p.kind is PacketKind.REPAIR]
+        assert len(repairs) == 1
+        assert repairs[0].seq == 0
+
+    def test_peer_without_packet_stays_silent(self, world):
+        strategy = make_strategy(world.CA, [], [])
+        agent = install_rp_client(world, strategy)
+        sink_b = Sink(world.events)
+        world.network.attach_agent(world.CB, sink_b)
+        agent.on_packet(Packet(PacketKind.REQUEST, 0, origin=world.CB))
+        world.events.run(until=10.0)
+        assert sink_b.packets == []
+
+
+class TestSourceAgent:
+    def test_subgroup_multicast_repair(self, world):
+        source = RPSourceAgent(world.S, world.network, source_multicast=True)
+        world.network.attach_agent(world.S, source)
+        source.next_seq = 3
+        sinks = {n: Sink(world.events) for n in (world.CA, world.CB, world.CC)}
+        for n, s in sinks.items():
+            world.network.attach_agent(n, s)
+        source.on_packet(Packet(PacketKind.REQUEST, 0, origin=world.CA))
+        world.events.run(until=20.0)
+        # Subgroup = subtree under the source's only child r0: everyone.
+        for sink in sinks.values():
+            assert PacketKind.REPAIR in [p.kind for _, p in sink.packets]
+
+    def test_unicast_mode_repairs_requester_only(self, world):
+        source = RPSourceAgent(world.S, world.network, source_multicast=False)
+        world.network.attach_agent(world.S, source)
+        source.next_seq = 3
+        sinks = {n: Sink(world.events) for n in (world.CA, world.CB)}
+        for n, s in sinks.items():
+            world.network.attach_agent(n, s)
+        source.on_packet(Packet(PacketKind.REQUEST, 0, origin=world.CA))
+        world.events.run(until=20.0)
+        assert [p.kind for _, p in sinks[world.CA].packets] == [PacketKind.REPAIR]
+        assert sinks[world.CB].packets == []
+
+    def test_request_for_unsent_data_ignored(self, world):
+        source = RPSourceAgent(world.S, world.network, source_multicast=False)
+        world.network.attach_agent(world.S, source)
+        source.next_seq = 1
+        sink = Sink(world.events)
+        world.network.attach_agent(world.CA, sink)
+        source.on_packet(Packet(PacketKind.REQUEST, 5, origin=world.CA))
+        world.events.run(until=10.0)
+        assert sink.packets == []
+
+    def test_duplicate_requests_deduplicated(self, world):
+        source = RPSourceAgent(world.S, world.network, source_multicast=True)
+        world.network.attach_agent(world.S, source)
+        source.next_seq = 3
+        # Two requests inside the hold window (2 x subtree span = 4ms):
+        # one flood + one unicast.
+        source.on_packet(Packet(PacketKind.REQUEST, 0, origin=world.CA))
+        world.events.run(until=3.5)  # flood fully propagated, hold active
+        flood_hops = world.ledger.recovery_hops
+        source.on_packet(Packet(PacketKind.REQUEST, 0, origin=world.CB))
+        world.events.run(until=40.0)
+        unicast_hops = world.ledger.recovery_hops - flood_hops
+        assert flood_hops == world.tree.num_tree_links
+        # S -> r0 -> r1 -> cB is 3 hops, fewer than the 5-link flood.
+        assert 0 < unicast_hops < flood_hops
+
+
+class TestFactory:
+    def test_install_attaches_all_agents(self, world):
+        factory = RPProtocolFactory()
+        from repro.sim.rng import RngStreams
+
+        source = factory.install(
+            world.network, world.log, world.tracker, RngStreams(0),
+            world.num_packets,
+        )
+        assert source.node == world.S
+        for client in world.tree.clients:
+            assert isinstance(world.network.agent_at(client), RPClientAgent)
+
+    def test_config_restrictions_flow_through(self, world):
+        from repro.core.strategy_graph import StrategyRestrictions
+        from repro.sim.rng import RngStreams
+
+        factory = RPProtocolFactory(
+            RPConfig(restrictions=StrategyRestrictions(max_list_length=0))
+        )
+        factory.install(
+            world.network, world.log, world.tracker, RngStreams(0),
+            world.num_packets,
+        )
+        for client in world.tree.clients:
+            agent = world.network.agent_at(client)
+            assert len(agent.strategy.attempts) == 0
+
+
+class TestNegativeAcks:
+    def test_peer_replies_dont_have(self, world):
+        from repro.sim.packet import Packet, PacketKind
+
+        strategy = make_strategy(world.CA, [], [])
+        agent = RPClientAgent(
+            world.CA, world.network, world.log, world.tracker,
+            world.num_packets, strategy, negative_acks=True,
+        )
+        world.network.attach_agent(world.CA, agent)
+        sink_b = Sink(world.events)
+        world.network.attach_agent(world.CB, sink_b)
+        agent.on_packet(Packet(PacketKind.REQUEST, 0, origin=world.CB, req_id=9))
+        world.events.run(until=10.0)
+        kinds = [p.kind for _, p in sink_b.packets]
+        assert kinds == [PacketKind.NACK]
+        assert sink_b.packets[0][1].req_id == 9
+
+    def test_nack_advances_without_timeout(self, world):
+        from repro.sim.packet import Packet, PacketKind
+
+        # Long timeouts: only a NACK can advance this fast.
+        strategy = make_strategy(
+            world.CA, [(world.CB, 2), (world.CC, 1)], [1000.0, 1000.0]
+        )
+        requester = RPClientAgent(
+            world.CA, world.network, world.log, world.tracker,
+            world.num_packets, strategy, negative_acks=True,
+        )
+        world.network.attach_agent(world.CA, requester)
+        # CB is a NACK-capable peer without the packet.
+        peer = RPClientAgent(
+            world.CB, world.network, world.log, world.tracker,
+            world.num_packets, make_strategy(world.CB, [], []),
+            negative_acks=True,
+        )
+        world.network.attach_agent(world.CB, peer)
+        sink_c = Sink(world.events)
+        world.network.attach_agent(world.CC, sink_c)
+        requester.on_packet(Packet(PacketKind.DATA, 1, origin=world.S))
+        world.events.run(until=100.0)
+        # The second attempt reached CC long before the 1000 ms timeout.
+        assert [p.kind for _, p in sink_c.packets] == [PacketKind.REQUEST]
+        assert sink_c.packets[0][0] < 50.0
+
+    def test_stale_nack_ignored(self, world):
+        from repro.sim.packet import Packet, PacketKind
+
+        strategy = make_strategy(world.CA, [(world.CB, 2)], [5.0])
+        agent = RPClientAgent(
+            world.CA, world.network, world.log, world.tracker,
+            world.num_packets, strategy, negative_acks=True,
+        )
+        world.network.attach_agent(world.CA, agent)
+        agent.on_packet(Packet(PacketKind.DATA, 1, origin=world.S))
+        # Deliver a NACK with a bogus req_id: must not advance anything.
+        before = agent._pending[0].attempt_index
+        agent.on_packet(Packet(PacketKind.NACK, 0, origin=world.CB, req_id=999))
+        assert agent._pending[0].attempt_index == before
+
+    def test_factory_uses_rtt_estimator_with_naks(self, world):
+        from repro.core.objective import RttOnlyEstimator
+        from repro.sim.rng import RngStreams
+
+        factory = RPProtocolFactory(RPConfig(negative_acks=True))
+        factory.install(
+            world.network, world.log, world.tracker, RngStreams(0),
+            world.num_packets,
+        )
+        # Agents got the negative-ack behaviour.
+        for client in world.tree.clients:
+            assert world.network.agent_at(client).negative_acks
+
+    def test_end_to_end_reliable_with_naks(self):
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import build_scenario, run_protocol
+
+        config = ScenarioConfig(
+            seed=17, num_routers=25, loss_prob=0.1, num_packets=8,
+            max_events=5_000_000,
+        )
+        built = build_scenario(config)
+        summary = run_protocol(
+            built, RPProtocolFactory(RPConfig(negative_acks=True))
+        )
+        assert summary.fully_recovered

@@ -1,0 +1,82 @@
+"""Tests for the source-based recovery baseline."""
+
+import pytest
+
+from repro.core.timeouts import FixedTimeout
+from repro.protocols.source import (
+    SourceConfig,
+    SourceProtocolFactory,
+    SourceRecoveryClientAgent,
+    SourceRecoverySourceAgent,
+)
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.rng import RngStreams
+
+
+def data(seq):
+    return Packet(PacketKind.DATA, seq, origin=2)
+
+
+def install(world, config=None):
+    config = config or SourceConfig()
+    policy = config.timeout_policy or FixedTimeout(20.0)
+    agents = {}
+    for client in (world.CA, world.CB, world.CC):
+        agent = SourceRecoveryClientAgent(
+            client, world.network, world.log, world.tracker,
+            world.num_packets, policy,
+        )
+        world.network.attach_agent(client, agent)
+        agents[client] = agent
+    source = SourceRecoverySourceAgent(
+        world.S, world.network, config.subgroup_multicast
+    )
+    world.network.attach_agent(world.S, source)
+    return agents, source
+
+
+class TestSourceRecovery:
+    def test_loss_recovered_from_source(self, world):
+        agents, source = install(world)
+        source.next_seq = 2
+        agents[world.CA].on_packet(data(1))
+        world.events.run(until=200.0)
+        assert world.log.is_recovered(world.CA, 0)
+
+    def test_unicast_mode_touches_only_requester(self, world):
+        agents, source = install(world)
+        source.next_seq = 2
+        agents[world.CA].on_packet(data(1))
+        world.events.run(until=200.0)
+        assert not world.log.was_lost(world.CB, 0)
+
+    def test_subgroup_multicast_mode_covers_subgroup(self, world):
+        agents, source = install(world, SourceConfig(subgroup_multicast=True))
+        source.next_seq = 2
+        # CB also lost 0 but never requests; CA's request repairs both.
+        agents[world.CB].on_packet(data(1))
+        agents[world.CA].on_packet(data(1))
+        world.events.run(until=200.0)
+        assert world.log.is_recovered(world.CA, 0)
+        assert world.log.is_recovered(world.CB, 0)
+
+    def test_retries_on_silent_source(self, world):
+        # No source agent: requests vanish; the client must keep trying.
+        policy = FixedTimeout(10.0)
+        agent = SourceRecoveryClientAgent(
+            world.CA, world.network, world.log, world.tracker,
+            world.num_packets, policy,
+        )
+        world.network.attach_agent(world.CA, agent)
+        agent.on_packet(data(1))
+        world.events.run(until=100.0)
+        assert world.ledger.hops_by_kind[PacketKind.REQUEST] >= 3 * 3
+
+    def test_factory_install(self, world):
+        factory = SourceProtocolFactory()
+        source = factory.install(
+            world.network, world.log, world.tracker, RngStreams(0),
+            world.num_packets,
+        )
+        assert isinstance(source, SourceRecoverySourceAgent)
+        assert factory.name == "SOURCE"

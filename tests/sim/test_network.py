@@ -1,0 +1,318 @@
+"""Tests for the packet-level network: forwarding, delays, loss,
+multicast, flooding, hop accounting."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.collectors import BandwidthLedger
+from repro.net.mcast_tree import MulticastTree
+from repro.net.routing import RoutingTable
+from repro.net.topology import NodeKind, Topology
+from repro.sim.engine import EventQueue
+from repro.sim.network import SimNetwork
+from repro.sim.packet import Packet, PacketKind
+
+
+class Recorder:
+    """Agent that records (time, packet) deliveries."""
+
+    def __init__(self, events: EventQueue):
+        self.events = events
+        self.deliveries: list[tuple[float, Packet]] = []
+
+    def on_packet(self, packet: Packet) -> None:
+        self.deliveries.append((self.events.now, packet))
+
+
+# Node ids in build_net: r0=0, r1=1, S=2, cA=3 (at r0), cB=4 (at r1).
+S, CA, CB = 2, 3, 4
+
+
+def build_net(loss_prob=0.0, seed=0):
+    """S - r0 - r1 with clients cA (at r0) and cB (at r1).
+
+    Extra non-tree shortcut link cA-cB for unicast routing tests.
+    Link delays: S-r0: 1, r0-r1: 2, r0-cA: 3, r1-cB: 4, cA-cB: 1.
+    """
+    topo = Topology()
+    r0, r1 = topo.add_nodes(2, NodeKind.ROUTER)
+    s = topo.add_node(NodeKind.SOURCE)
+    ca = topo.add_node(NodeKind.CLIENT)
+    cb = topo.add_node(NodeKind.CLIENT)
+    topo.add_link(s, r0, 1.0, loss_prob)
+    topo.add_link(r0, r1, 2.0, loss_prob)
+    topo.add_link(r0, ca, 3.0, loss_prob)
+    topo.add_link(r1, cb, 4.0, loss_prob)
+    topo.add_link(ca, cb, 1.0, loss_prob)  # shortcut, not in tree
+    tree = MulticastTree(topo, s, {r0: s, r1: r0, ca: r0, cb: r1})
+    events = EventQueue()
+    net = SimNetwork(
+        events,
+        topo,
+        RoutingTable(topo),
+        tree,
+        loss_rng=np.random.default_rng(seed),
+        ledger=BandwidthLedger(),
+    )
+    return topo, tree, events, net
+
+
+DATA0 = Packet(PacketKind.DATA, 0, origin=S)
+REQ = Packet(PacketKind.REQUEST, 0, origin=CA)
+
+
+class TestUnicast:
+    def test_delivery_time_is_path_delay(self):
+        _, _, events, net = build_net()
+        rec = Recorder(events)
+        net.attach_agent(CA, rec)
+        net.send_unicast(S, CA, REQ)  # S -> r0 -> cA: 1 + 3
+        events.run()
+        assert rec.deliveries == [(4.0, REQ)]
+
+    def test_uses_shortest_path_not_tree(self):
+        _, _, events, net = build_net()
+        rec = Recorder(events)
+        net.attach_agent(CB, rec)
+        net.send_unicast(CA, CB, REQ)  # shortcut cA-cB: delay 1
+        events.run()
+        assert rec.deliveries == [(1.0, REQ)]
+
+    def test_self_delivery(self):
+        _, _, events, net = build_net()
+        rec = Recorder(events)
+        net.attach_agent(CA, rec)
+        net.send_unicast(CA, CA, REQ)
+        events.run()
+        assert rec.deliveries == [(0.0, REQ)]
+        assert net.ledger.recovery_hops == 0
+
+    def test_intermediate_nodes_not_delivered(self):
+        _, _, events, net = build_net()
+        mid = Recorder(events)
+        dst = Recorder(events)
+        net.attach_agent(0, mid)
+        net.attach_agent(CA, dst)
+        net.send_unicast(S, CA, REQ)
+        events.run()
+        assert mid.deliveries == []
+        assert len(dst.deliveries) == 1
+
+    def test_hops_charged_per_link(self):
+        _, _, events, net = build_net()
+        net.attach_agent(CA, Recorder(events))
+        net.send_unicast(S, CA, REQ)
+        events.run()
+        assert net.ledger.hops_by_kind[PacketKind.REQUEST] == 2
+
+    def test_total_loss_drops_packet_but_charges_first_hop(self):
+        _, _, events, net = build_net(loss_prob=0.999999, seed=1)
+        rec = Recorder(events)
+        net.attach_agent(CA, rec)
+        net.send_unicast(S, CA, REQ)
+        events.run()
+        assert rec.deliveries == []
+        assert net.ledger.hops_by_kind[PacketKind.REQUEST] == 1
+        assert net.ledger.drops_by_kind[PacketKind.REQUEST] == 1
+
+
+class TestMulticastSubtree:
+    def test_full_tree_multicast_reaches_all_members(self):
+        _, _, events, net = build_net()
+        recs = {n: Recorder(events) for n in (CA, CB)}
+        for n, r in recs.items():
+            net.attach_agent(n, r)
+        net.multicast_subtree(S, S, DATA0)
+        events.run()
+        # cA: S->r0->cA = 1+3 = 4; cB: 1+2+4 = 7.
+        assert recs[CA].deliveries[0][0] == pytest.approx(4.0)
+        assert recs[CB].deliveries[0][0] == pytest.approx(7.0)
+
+    def test_hop_count_equals_tree_links(self):
+        _, tree, events, net = build_net()
+        net.multicast_subtree(S, S, DATA0)
+        events.run()
+        assert net.ledger.data_hops == tree.num_tree_links
+
+    def test_subtree_multicast_covers_only_subtree(self):
+        _, _, events, net = build_net()
+        recs = {n: Recorder(events) for n in (CA, CB)}
+        for n, r in recs.items():
+            net.attach_agent(n, r)
+        repair = Packet(PacketKind.REPAIR, 0, origin=S)
+        net.multicast_subtree(S, 1, repair)  # subtree rooted at r1
+        events.run()
+        assert recs[CA].deliveries == []
+        assert [t for t, _ in recs[CB].deliveries] == [pytest.approx(7.0)]
+
+    def test_access_leg_then_subtree(self):
+        """A repair travelling up to the subtree root and down again."""
+        _, _, events, net = build_net()
+        rec = Recorder(events)
+        net.attach_agent(CB, rec)
+        repair = Packet(PacketKind.REPAIR, 0, origin=CA)
+        # cA repairs into subtree r1: tree path cA -> r0 -> r1, then down.
+        net.multicast_subtree(CA, 1, repair)
+        events.run()
+        assert [t for t, _ in rec.deliveries] == [pytest.approx(3 + 2 + 4)]
+
+    def test_originator_not_self_delivered(self):
+        _, _, events, net = build_net()
+        rec = Recorder(events)
+        net.attach_agent(CA, rec)
+        repair = Packet(PacketKind.REPAIR, 0, origin=CA)
+        # cA lies inside r0's subtree, so the downward copy returns to
+        # it — exactly once; it must not hear its own upward leg.
+        net.multicast_subtree(CA, 0, repair)
+        events.run()
+        assert len(rec.deliveries) == 1
+
+    def test_loss_on_tree_link_prunes_subtree(self):
+        _, _, events, net = build_net(loss_prob=0.999999, seed=3)
+        recs = {n: Recorder(events) for n in (CA, CB)}
+        for n, r in recs.items():
+            net.attach_agent(n, r)
+        net.multicast_subtree(S, S, DATA0)
+        events.run()
+        assert recs[CA].deliveries == []
+        assert recs[CB].deliveries == []
+        # Only the first link was attempted (S->r0 dropped).
+        assert net.ledger.data_hops == 1
+
+    def test_non_member_endpoints_rejected(self):
+        topo, _, events, net = build_net()
+        outsider = topo.add_node(NodeKind.ROUTER)
+        with pytest.raises(ValueError):
+            net.multicast_subtree(outsider, 0, DATA0)
+        with pytest.raises(ValueError):
+            net.multicast_subtree(S, outsider, DATA0)
+
+
+class TestFlood:
+    def test_flood_reaches_everyone_from_any_member(self):
+        _, _, events, net = build_net()
+        recs = {n: Recorder(events) for n in (S, CA, CB)}
+        for n, r in recs.items():
+            net.attach_agent(n, r)
+        nack = Packet(PacketKind.NACK, 0, origin=CB)
+        net.flood_tree(CB, nack)
+        events.run()
+        # cB -> r1 (4), r1 -> r0 (+2), r0 -> S (+1) and r0 -> cA (+3).
+        assert recs[S].deliveries[0][0] == pytest.approx(7.0)
+        assert recs[CA].deliveries[0][0] == pytest.approx(9.0)
+        assert recs[CB].deliveries == []  # no self-delivery
+
+    def test_flood_hop_count_covers_all_tree_links(self):
+        _, tree, events, net = build_net()
+        net.flood_tree(CB, Packet(PacketKind.NACK, 0, origin=CB))
+        events.run()
+        assert net.ledger.hops_by_kind[PacketKind.NACK] == tree.num_tree_links
+
+    def test_flood_from_non_member_rejected(self):
+        topo, _, events, net = build_net()
+        outsider = topo.add_node(NodeKind.ROUTER)
+        with pytest.raises(ValueError):
+            net.flood_tree(outsider, Packet(PacketKind.NACK, 0, origin=0))
+
+
+class TestAgentManagement:
+    def test_duplicate_agent_rejected(self):
+        _, _, events, net = build_net()
+        net.attach_agent(CA, Recorder(events))
+        with pytest.raises(ValueError):
+            net.attach_agent(CA, Recorder(events))
+
+    def test_unknown_node_rejected(self):
+        _, _, events, net = build_net()
+        with pytest.raises(ValueError):
+            net.attach_agent(99, Recorder(events))
+
+    def test_agent_at(self):
+        _, _, events, net = build_net()
+        rec = Recorder(events)
+        net.attach_agent(CA, rec)
+        assert net.agent_at(CA) is rec
+        assert net.agent_at(0) is None
+
+    def test_inconsistent_components_rejected(self):
+        topo, tree, events, _ = build_net()
+        other_topo, _, _, _ = build_net()
+        with pytest.raises(ValueError):
+            SimNetwork(
+                events,
+                other_topo,
+                RoutingTable(topo),
+                tree,
+                loss_rng=np.random.default_rng(0),
+            )
+
+
+class TestDataLossPairing:
+    def test_data_stream_isolated_from_recovery_draws(self):
+        """Two networks drawing recovery losses differently still see the
+        same DATA loss pattern when sharing a data stream seed."""
+        outcomes = []
+        for extra_recovery_draws in (0, 57):
+            topo, tree, events, _ = build_net(loss_prob=0.3)
+            net = SimNetwork(
+                events, topo, RoutingTable(topo), tree,
+                loss_rng=np.random.default_rng(1),
+                data_loss_rng=np.random.default_rng(2),
+            )
+            rec = Recorder(events)
+            net.attach_agent(CB, rec)
+            # Perturb the recovery stream.
+            for _ in range(extra_recovery_draws):
+                net.send_unicast(S, CA, REQ)
+            # Then send data packets; their fate must be identical.
+            for seq in range(20):
+                net.multicast_subtree(S, S, Packet(PacketKind.DATA, seq, origin=S))
+            events.run()
+            outcomes.append(sorted(p.seq for _, p in rec.deliveries
+                                   if p.kind is PacketKind.DATA))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestJitter:
+    def test_jitter_requires_rng(self):
+        topo, tree, events, _ = build_net()
+        with pytest.raises(ValueError):
+            SimNetwork(
+                events, topo, RoutingTable(topo), tree,
+                loss_rng=np.random.default_rng(0), jitter=0.2,
+            )
+
+    def test_jitter_bounds_validated(self):
+        topo, tree, events, _ = build_net()
+        with pytest.raises(ValueError):
+            SimNetwork(
+                events, topo, RoutingTable(topo), tree,
+                loss_rng=np.random.default_rng(0), jitter=1.0,
+                jitter_rng=np.random.default_rng(1),
+            )
+
+    def test_delivery_time_within_jitter_bounds(self):
+        topo, tree, events, _ = build_net()
+        net = SimNetwork(
+            events, topo, RoutingTable(topo), tree,
+            loss_rng=np.random.default_rng(0),
+            jitter=0.5, jitter_rng=np.random.default_rng(2),
+        )
+        rec = Recorder(events)
+        net.attach_agent(CA, rec)
+        for _ in range(30):
+            net.send_unicast(S, CA, REQ)
+        events.run()
+        # Nominal path delay 4.0; per-hop jitter 50% -> total in [2, 6].
+        times = sorted(t for t, _ in rec.deliveries)
+        assert all(2.0 - 1e-9 <= t <= 6.0 + 1e-9 for t in times)
+        # And it actually varies.
+        assert times[-1] - times[0] > 0.1
+
+    def test_zero_jitter_is_deterministic(self):
+        _, _, events, net = build_net()
+        rec = Recorder(events)
+        net.attach_agent(CA, rec)
+        net.send_unicast(S, CA, REQ)
+        events.run()
+        assert rec.deliveries[0][0] == 4.0

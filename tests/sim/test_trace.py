@@ -1,0 +1,105 @@
+"""Tests for the event-trace recorder."""
+
+import pytest
+
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.trace import TraceFilter, TraceKind, TraceRecorder
+
+from tests.sim.test_network import CA, CB, REQ, S, build_net
+
+
+class TestRecording:
+    def test_unicast_trace_has_transmits_and_delivery(self):
+        _, _, events, net = build_net()
+        recorder = TraceRecorder().attach(net)
+        net.send_unicast(S, CA, REQ)
+        events.run()
+        transmits = recorder.of_kind(TraceKind.TRANSMIT)
+        assert [(e.peer, e.node) for e in transmits] == [(S, 0), (0, CA)]
+        deliveries = recorder.deliveries_to(CA)
+        assert len(deliveries) == 1
+        assert deliveries[0].time == pytest.approx(4.0)
+
+    def test_drop_recorded(self):
+        _, _, events, net = build_net(loss_prob=0.999999, seed=1)
+        recorder = TraceRecorder().attach(net)
+        net.send_unicast(S, CA, REQ)
+        events.run()
+        assert len(recorder.drops()) == 1
+        assert recorder.deliveries_to(CA) == []
+
+    def test_path_of_follows_multicast(self):
+        _, tree, events, net = build_net()
+        recorder = TraceRecorder().attach(net)
+        net.multicast_subtree(S, S, Packet(PacketKind.DATA, 0, origin=S))
+        events.run()
+        path = recorder.path_of(PacketKind.DATA, 0)
+        assert len(path) == tree.num_tree_links
+        assert (S, 0) in path
+
+    def test_detach_restores_network(self):
+        _, _, events, net = build_net()
+        recorder = TraceRecorder().attach(net)
+        recorder.detach()
+        net.send_unicast(S, CA, REQ)
+        events.run()
+        assert recorder.events == []
+
+    def test_double_attach_rejected(self):
+        _, _, _, net = build_net()
+        recorder = TraceRecorder().attach(net)
+        with pytest.raises(RuntimeError):
+            recorder.attach(net)
+
+    def test_event_budget_enforced(self):
+        _, _, events, net = build_net()
+        recorder = TraceRecorder(max_events=1).attach(net)
+        with pytest.raises(RuntimeError):
+            net.send_unicast(S, CA, REQ)
+            events.run()
+
+    def test_max_events_validated(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)
+
+
+class TestFiltering:
+    def test_kind_filter(self):
+        _, _, events, net = build_net()
+        recorder = TraceRecorder(
+            TraceFilter(packet_kinds=frozenset({PacketKind.DATA}))
+        ).attach(net)
+        net.send_unicast(S, CA, REQ)
+        net.multicast_subtree(S, S, Packet(PacketKind.DATA, 0, origin=S))
+        events.run()
+        assert all(e.packet_kind is PacketKind.DATA for e in recorder.events)
+        assert recorder.events
+
+    def test_seq_filter(self):
+        _, _, events, net = build_net()
+        recorder = TraceRecorder(TraceFilter(seqs=frozenset({1}))).attach(net)
+        for seq in (0, 1, 2):
+            net.multicast_subtree(S, S, Packet(PacketKind.DATA, seq, origin=S))
+        events.run()
+        assert {e.seq for e in recorder.events} == {1}
+
+    def test_node_filter_matches_either_endpoint(self):
+        _, _, events, net = build_net()
+        recorder = TraceRecorder(TraceFilter(nodes=frozenset({CB}))).attach(net)
+        net.multicast_subtree(S, S, Packet(PacketKind.DATA, 0, origin=S))
+        events.run()
+        assert recorder.events
+        for e in recorder.events:
+            assert CB in (e.node, e.peer)
+
+
+class TestRender:
+    def test_render_truncates(self):
+        _, _, events, net = build_net()
+        recorder = TraceRecorder().attach(net)
+        for seq in range(5):
+            net.multicast_subtree(S, S, Packet(PacketKind.DATA, seq, origin=S))
+        events.run()
+        text = recorder.render(limit=3)
+        assert "... and" in text
+        assert "transmit" in text

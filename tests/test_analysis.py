@@ -1,0 +1,128 @@
+"""Tests for session analytics, cross-checked against Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    loss_correlation,
+    pair_loss_matrix,
+    strategy_census,
+    tree_census,
+)
+from repro.core.montecarlo import TreeLossSampler
+from repro.core.planner import RPPlanner
+from repro.net.generators import TopologyConfig, random_backbone
+from repro.net.mcast_tree import random_multicast_tree
+from repro.net.routing import RoutingTable
+
+
+@pytest.fixture(scope="module")
+def scene():
+    topo = random_backbone(
+        TopologyConfig(num_routers=35), np.random.default_rng(61)
+    )
+    tree = random_multicast_tree(topo, np.random.default_rng(62))
+    return topo, tree, RoutingTable(topo)
+
+
+class TestTreeCensus:
+    def test_counts_consistent(self, scene):
+        topo, tree, _ = scene
+        census = tree_census(tree)
+        assert census.num_members == tree.num_members
+        assert census.num_clients == len(tree.clients)
+        assert census.num_members == (
+            census.num_clients + census.num_routers + 1
+        )
+        assert census.max_depth >= census.mean_client_depth > 0
+        assert census.mean_branching >= 1.0
+
+    def test_str_is_informative(self, scene):
+        _, tree, _ = scene
+        text = str(tree_census(tree))
+        assert "clients" in text
+
+
+class TestStrategyCensus:
+    def test_summary_fields(self, scene):
+        _, tree, routing = scene
+        plans = RPPlanner(tree, routing).plan_all()
+        census = strategy_census(plans)
+        assert census.num_strategies == len(plans)
+        assert 0 <= census.fraction_with_peers <= 1
+        assert census.mean_list_length <= census.max_list_length
+        # Plans can only be at least as good as going straight to S.
+        assert census.mean_planned_speedup >= 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            strategy_census({})
+
+
+class TestPairLossMatrix:
+    def test_diagonal_is_individual_loss(self, scene):
+        _, tree, _ = scene
+        clients = tree.clients[:4]
+        p = 0.1
+        matrix = pair_loss_matrix(tree, p, clients)
+        for i, c in enumerate(clients):
+            expected = 1.0 - 0.9 ** tree.depth(c)
+            assert matrix[i, i] == pytest.approx(expected)
+
+    def test_symmetric_and_bounded(self, scene):
+        _, tree, _ = scene
+        clients = tree.clients[:5]
+        matrix = pair_loss_matrix(tree, 0.15, clients)
+        assert np.allclose(matrix, matrix.T)
+        assert (matrix >= -1e-12).all() and (matrix <= 1.0).all()
+
+    def test_joint_at_most_marginal(self, scene):
+        _, tree, _ = scene
+        clients = tree.clients[:5]
+        matrix = pair_loss_matrix(tree, 0.15, clients)
+        marginals = np.diag(matrix)
+        for i in range(len(clients)):
+            for j in range(len(clients)):
+                assert matrix[i, j] <= min(marginals[i], marginals[j]) + 1e-12
+
+    def test_matches_monte_carlo(self, scene):
+        _, tree, _ = scene
+        clients = tree.clients[:4]
+        p = 0.12
+        analytic = pair_loss_matrix(tree, p, clients)
+        sampler = TreeLossSampler(tree, p)
+        empirical = sampler.empirical_pair_loss_matrix(
+            clients, np.random.default_rng(7), trials=300_000
+        )
+        assert np.allclose(analytic, empirical, atol=0.01)
+
+    def test_rejects_bad_loss(self, scene):
+        _, tree, _ = scene
+        with pytest.raises(ValueError):
+            pair_loss_matrix(tree, 1.0, tree.clients[:2])
+
+
+class TestLossCorrelation:
+    def test_self_correlation_one(self, scene):
+        _, tree, _ = scene
+        corr = loss_correlation(tree, 0.1, tree.clients[:4])
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_shared_prefix_drives_correlation(self, scene):
+        """The more root path two clients share, the more correlated
+        their losses — the paper's central geometric intuition."""
+        _, tree, _ = scene
+        clients = tree.clients
+        u = clients[0]
+        others = clients[1:]
+        near = max(others, key=lambda c: tree.ds(u, c))
+        far = min(others, key=lambda c: tree.ds(u, c))
+        if tree.ds(u, near) == tree.ds(u, far):
+            pytest.skip("no contrast on this seed")
+        corr = loss_correlation(tree, 0.1, [u, near, far])
+        assert corr[0, 1] > corr[0, 2]
+
+    def test_bounded_minus_one_to_one(self, scene):
+        _, tree, _ = scene
+        corr = loss_correlation(tree, 0.2, tree.clients[:6])
+        assert (corr <= 1.0 + 1e-9).all() and (corr >= -1.0 - 1e-9).all()

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == ["rp", "srm", "rma"]
+        assert args.routers == 100
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "xyz"])
+
+
+class TestRunCommand:
+    def test_run_prints_summary_table(self, capsys):
+        rc = main([
+            "run", "--routers", "20", "--packets", "5", "--seed", "3",
+            "--protocol", "rp",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RP" in out
+        assert "latency ms" in out
+
+    def test_run_multiple_protocols_share_network(self, capsys):
+        rc = main([
+            "run", "--routers", "20", "--packets", "5", "--seed", "3",
+            "--protocol", "rp", "srm",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RP" in out and "SRM" in out
+
+    def test_run_naive_protocols(self, capsys):
+        rc = main([
+            "run", "--routers", "20", "--packets", "5", "--seed", "3",
+            "--protocol", "random", "nearest",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RANDOM" in out and "NEAREST" in out
+
+
+class TestFigureCommand:
+    def test_tiny_figure_5(self, capsys, monkeypatch):
+        import repro.cli as cli
+        import repro.experiments.figures as figures
+
+        # Shrink the sweep so the test stays fast.
+        monkeypatch.setattr(figures, "FIG5_NUM_ROUTERS", (15, 25))
+        monkeypatch.setattr(
+            cli, "run_client_sweep",
+            lambda **kw: figures.run_client_sweep(
+                num_routers=(15, 25), **kw
+            ),
+        )
+        rc = main(["figure", "5", "--packets", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "RP" in out
+
+
+class TestPlanCommand:
+    def test_plan_prints_strategies(self, capsys):
+        rc = main(["plan", "--routers", "20", "--seed", "3", "--limit", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "prioritized list" in out
+        assert "E[delay] ms" in out
+
+    def test_plan_specific_client(self, capsys):
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import build_scenario
+
+        built = build_scenario(
+            ScenarioConfig(seed=3, num_routers=20, loss_prob=0.05)
+        )
+        client = built.clients[0]
+        rc = main([
+            "plan", "--routers", "20", "--seed", "3",
+            "--client", str(client),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert str(client) in out
+
+
+class TestRealismFlags:
+    def test_run_with_jitter_and_congestion(self, capsys):
+        rc = main([
+            "run", "--routers", "15", "--packets", "4", "--seed", "2",
+            "--protocol", "rp", "--jitter", "0.2", "--congestion", "0.05",
+        ])
+        assert rc == 0
+        assert "RP" in capsys.readouterr().out
+
+    def test_plan_accepts_realism_flags(self, capsys):
+        rc = main([
+            "plan", "--routers", "15", "--seed", "2", "--limit", "2",
+            "--jitter", "0.1",
+        ])
+        assert rc == 0
+
+
+class TestRunnerArtifacts:
+    def test_run_protocol_detailed_exposes_collectors(self):
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import build_scenario, run_protocol_detailed
+        from repro.protocols.rp import RPProtocolFactory
+
+        built = build_scenario(
+            ScenarioConfig(seed=4, num_routers=20, loss_prob=0.05,
+                           num_packets=5)
+        )
+        artifacts = run_protocol_detailed(built, RPProtocolFactory())
+        assert artifacts.summary.fully_recovered
+        assert artifacts.log.num_detected == artifacts.summary.losses_detected
+        assert artifacts.ledger.recovery_hops == artifacts.summary.recovery_hops
+        stats = artifacts.log.per_client_stats()
+        assert sum(n for n, _, _ in stats.values()) == artifacts.log.num_detected
