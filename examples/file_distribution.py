@@ -52,7 +52,7 @@ def main() -> None:
         rows.append([
             summary.protocol,
             str(summary.losses_detected),
-            f"{summary.avg_latency:.1f}",
+            "n/a" if summary.avg_latency is None else f"{summary.avg_latency:.1f}",
             f"{summary.p95_latency:.1f}",
             f"{summary.bandwidth_per_recovery:.1f}",
             f"{summary.recovery_hops}",
@@ -67,11 +67,19 @@ def main() -> None:
     # Per-client completion: when did the unluckiest clients become whole?
     print("\nworst five clients by completion time (RP):")
     stats = logs["RP"].per_client_stats()
-    worst = sorted(stats.items(), key=lambda kv: -kv[1][2])[:5]
+    # Clients that recovered nothing have no completion time (None).
+    worst = sorted(
+        stats.items(), key=lambda kv: -(kv[1][2] if kv[1][2] is not None else 0.0)
+    )[:5]
     print(format_table(
         ["client", "blocks lost", "mean recovery ms", "whole at ms"],
         [
-            [str(c), str(n), f"{mean:.1f}", f"{last:.1f}"]
+            [
+                str(c),
+                str(n),
+                "n/a" if mean is None else f"{mean:.1f}",
+                "n/a" if last is None else f"{last:.1f}",
+            ]
             for c, (n, mean, last) in worst
         ],
     ))

@@ -51,9 +51,13 @@ def main() -> None:
     for factory in (RPProtocolFactory(), SRMProtocolFactory(), RMAProtocolFactory()):
         summary = run_protocol(built, factory)
         assert summary.fully_recovered
+        latency = (
+            f"{summary.avg_latency:11.2f}"
+            if summary.avg_latency is not None else f"{'n/a':>11}"
+        )
         print(
             f"{summary.protocol:8} {summary.losses_detected:7d} "
-            f"{summary.avg_latency:11.2f} {summary.bandwidth_per_recovery:8.2f}"
+            f"{latency} {summary.bandwidth_per_recovery:8.2f}"
         )
 
 

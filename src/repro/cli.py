@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows without writing Python:
+Subcommands cover the common workflows without writing Python:
 
 ``python -m repro run``
     Simulate one scenario under one protocol and print its summary.
@@ -9,6 +9,13 @@ Three subcommands cover the common workflows without writing Python:
 ``python -m repro plan``
     Print the RP prioritized list (and its expected delay) for clients
     of a generated scenario.
+``python -m repro obs``
+    Run one instrumented scenario and print the attempt-level telemetry
+    breakdown (attempts-per-recovery histogram, per-rank success rates
+    against the model's ``1 - DS_j/DS_{j-1}`` predictions, top timers).
+``python -m repro campaign``
+    The full figure-reproduction campaign (``--telemetry`` adds
+    per-protocol attempt telemetry next to the sweeps).
 """
 
 from __future__ import annotations
@@ -88,7 +95,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             str(summary.num_clients),
             str(summary.losses_detected),
             str(summary.losses_recovered),
-            f"{summary.avg_latency:.2f}",
+            (
+                "n/a" if summary.avg_latency is None
+                else f"{summary.avg_latency:.2f}"
+            ),
             f"{summary.bandwidth_per_recovery:.2f}",
         ])
     print(format_table(
@@ -148,6 +158,29 @@ def _figure_meta(number: int) -> tuple[str, str, str]:
         7: ("latency", "Figure 7: avg recovery latency per packet recovered", "ms"),
         8: ("bandwidth", "Figure 8: avg bandwidth per packet recovered", "hops"),
     }[number]
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_protocol_detailed
+    from repro.obs import Instrumentation
+
+    built = build_scenario(_scenario_from(args))
+    factory = PROTOCOLS[args.protocol]()
+    instr = Instrumentation.recording(jsonl_path=args.jsonl)
+    try:
+        artifacts = run_protocol_detailed(built, factory, instrumentation=instr)
+    finally:
+        instr.close()
+    assert artifacts.obs is not None
+    print(artifacts.obs.render())
+    if args.save is not None:
+        from repro.experiments.persistence import save_obs_report
+
+        save_obs_report(artifacts.obs, args.save)
+        print(f"\nreport saved to {args.save}")
+    if args.jsonl is not None:
+        print(f"\nevent log written to {args.jsonl}")
+    return 0
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -212,6 +245,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fig.set_defaults(func=_cmd_figure)
 
+    p_obs = sub.add_parser(
+        "obs", help="run one instrumented scenario and print its telemetry"
+    )
+    _add_scenario_args(p_obs)
+    p_obs.add_argument(
+        "--protocol",
+        choices=sorted(PROTOCOLS),
+        default="rp",
+        help="protocol to instrument",
+    )
+    p_obs.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="also stream every telemetry event to a JSONL file",
+    )
+    p_obs.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="save the attempt-level report as JSON",
+    )
+    p_obs.set_defaults(func=_cmd_obs)
+
     p_plan = sub.add_parser("plan", help="print RP strategies")
     _add_scenario_args(p_plan)
     p_plan.add_argument(
@@ -232,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--lossy-recovery", action="store_true",
         help="realistic mode instead of the paper simulator's lossless mode",
     )
+    p_campaign.add_argument(
+        "--telemetry", action="store_true",
+        help="also record one instrumented run per protocol and save"
+        " its attempt-level report next to the sweeps",
+    )
     p_campaign.set_defaults(func=_cmd_campaign)
     return parser
 
@@ -244,6 +302,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         num_packets=args.packets,
         seeds=tuple(args.seeds),
         lossless_recovery=not args.lossy_recovery,
+        telemetry=args.telemetry,
     )
     return 0
 

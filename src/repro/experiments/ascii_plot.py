@@ -36,8 +36,10 @@ def plot_series(
         raise ValueError("nothing to plot")
     if width < 8 or height < 4:
         raise ValueError("plot area too small")
-    xs = [x for s in series for x in s.xs]
-    ys = [y for s in series for y in s.ys]
+    # Points with no value (a latency where nothing was recovered) are
+    # simply not drawn.
+    xs = [x for s in series for x, y in zip(s.xs, s.ys) if y is not None]
+    ys = [y for s in series for y in s.ys if y is not None]
     if not xs:
         raise ValueError("series have no points")
     x_min, x_max = min(xs), max(xs)
@@ -57,7 +59,9 @@ def plot_series(
     grid = [[" "] * width for _ in range(height)]
     for index, s in enumerate(series):
         marker = MARKERS[index % len(MARKERS)]
-        points = sorted(zip(s.xs, s.ys))
+        points = sorted(
+            (x, y) for x, y in zip(s.xs, s.ys) if y is not None
+        )
         previous: tuple[int, int] | None = None
         for x, y in points:
             c, r = col(x), row(y)

@@ -16,7 +16,7 @@ matches the figure benches.
 from __future__ import annotations
 
 import pathlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.experiments.figures import (
     SweepResult,
@@ -54,6 +54,8 @@ class CampaignResult:
     loss_sweep: SweepResult
     report_path: pathlib.Path
     sweep_paths: dict[str, pathlib.Path]
+    #: Per-protocol telemetry report files (``--telemetry`` only).
+    obs_paths: dict[str, pathlib.Path] = field(default_factory=dict)
 
 
 def _figure_block(sweep: SweepResult, ref: PaperReference) -> str:
@@ -90,12 +92,19 @@ def run_campaign(
     client_routers: tuple[int, ...] | None = None,
     loss_probs: tuple[float, ...] | None = None,
     progress=print,
+    telemetry: bool = False,
+    telemetry_routers: int = 100,
 ) -> CampaignResult:
     """Run both sweeps, persist them, and write ``REPORT.md``.
 
     ``client_routers`` / ``loss_probs`` override the paper's sweep
     points (used by tests to shrink the campaign); ``progress`` receives
     status lines (pass ``lambda *_: None`` to silence).
+
+    With ``telemetry`` one fully instrumented run per protocol is added
+    on a ``telemetry_routers``-sized network and its attempt-level
+    :class:`~repro.obs.report.ObsReport` saved as ``obs_<name>.json``
+    next to the sweeps.
     """
     out = pathlib.Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -125,6 +134,33 @@ def run_campaign(
     save_sweep(client_sweep, sweep_paths["client"])
     save_sweep(loss_sweep, sweep_paths["loss"])
 
+    obs_paths: dict[str, pathlib.Path] = {}
+    if telemetry:
+        progress("recording attempt-level telemetry (one run per protocol)...")
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.figures import default_protocols
+        from repro.experiments.persistence import save_obs_report
+        from repro.experiments.runner import build_scenario, run_protocol_detailed
+        from repro.obs import Instrumentation
+
+        config = ScenarioConfig(
+            seed=seeds[0],
+            num_routers=telemetry_routers,
+            loss_prob=0.05,
+            num_packets=num_packets,
+            lossless_recovery=lossless_recovery,
+        )
+        built = build_scenario(config)
+        for factory in default_protocols():
+            instr = Instrumentation.recording()
+            artifacts = run_protocol_detailed(
+                built, factory, instrumentation=instr
+            )
+            path = out / f"obs_{factory.name.lower()}.json"
+            save_obs_report(artifacts.obs, path)
+            obs_paths[factory.name] = path
+        progress(f"telemetry written to {out}/obs_*.json")
+
     blocks = [
         "# Reproduction campaign report",
         "",
@@ -144,4 +180,5 @@ def run_campaign(
         loss_sweep=loss_sweep,
         report_path=report_path,
         sweep_paths=sweep_paths,
+        obs_paths=obs_paths,
     )

@@ -61,9 +61,15 @@ class SweepPoint:
     num_clients: float
     runs: dict[str, list[RunSummary]] = field(default_factory=dict)
 
-    def mean_latency(self, protocol: str) -> float:
-        runs = self.runs[protocol]
-        return sum(r.avg_latency for r in runs) / len(runs)
+    def mean_latency(self, protocol: str) -> float | None:
+        """Per-protocol latency at this point, averaged over the runs
+        that recovered anything; ``None`` when no run did."""
+        values = [
+            r.avg_latency
+            for r in self.runs[protocol]
+            if r.avg_latency is not None
+        ]
+        return sum(values) / len(values) if values else None
 
     def mean_bandwidth(self, protocol: str) -> float:
         runs = self.runs[protocol]
@@ -72,11 +78,13 @@ class SweepPoint:
 
 @dataclass
 class FigureSeries:
-    """One protocol's series in one figure: (x, y) pairs."""
+    """One protocol's series in one figure: (x, y) pairs.
+
+    A latency ``y`` is ``None`` where no run recovered anything."""
 
     protocol: str
     xs: list[float]
-    ys: list[float]
+    ys: list[float | None]
 
 
 @dataclass
@@ -109,13 +117,23 @@ class SweepResult:
 
     def overall_mean(self, protocol: str, metric: str) -> float:
         """Sweep-wide mean of ``latency`` or ``bandwidth`` — what the
-        paper's "RP is X% shorter than SRM" sentences average over."""
+        paper's "RP is X% shorter than SRM" sentences average over.
+        Points where no run recovered anything carry no latency and are
+        skipped."""
         if metric == "latency":
-            values = [pt.mean_latency(protocol) for pt in self.points]
+            values = [
+                v
+                for pt in self.points
+                if (v := pt.mean_latency(protocol)) is not None
+            ]
         elif metric == "bandwidth":
             values = [pt.mean_bandwidth(protocol) for pt in self.points]
         else:
             raise ValueError(f"unknown metric {metric!r}")
+        if not values:
+            raise ValueError(
+                f"no {metric} data for {protocol!r} anywhere in the sweep"
+            )
         return sum(values) / len(values)
 
 

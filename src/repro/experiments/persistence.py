@@ -1,4 +1,4 @@
-"""Saving and loading sweep results.
+"""Saving and loading sweep results and run telemetry.
 
 A full figure sweep simulates dozens of sessions; re-rendering a table
 or plot should not require re-simulating.  :func:`save_sweep` writes a
@@ -6,6 +6,10 @@ versioned JSON document with every run summary; :func:`load_sweep`
 reconstructs the :class:`~repro.experiments.figures.SweepResult` so all
 rendering paths (tables, ASCII plots, improvement lines) work on loaded
 data exactly as on fresh data.
+
+:func:`save_obs_report` / :func:`load_obs_report` do the same for a
+run's attempt-level telemetry (:class:`~repro.obs.report.ObsReport`),
+which carries its own schema version.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from dataclasses import asdict
 
 from repro.experiments.figures import SweepPoint, SweepResult
 from repro.metrics.summary import RunSummary
+from repro.obs.report import ObsReport
 
 #: Format version; bump on breaking schema changes.
 SCHEMA_VERSION = 1
@@ -73,3 +78,14 @@ def save_sweep(sweep: SweepResult, path: str | pathlib.Path) -> None:
 def load_sweep(path: str | pathlib.Path) -> SweepResult:
     """Read a sweep saved by :func:`save_sweep`."""
     return sweep_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def save_obs_report(report: ObsReport, path: str | pathlib.Path) -> None:
+    """Write one run's telemetry report to ``path`` as JSON."""
+    payload = json.dumps(report.to_dict(), indent=1, sort_keys=True)
+    pathlib.Path(path).write_text(payload)
+
+
+def load_obs_report(path: str | pathlib.Path) -> ObsReport:
+    """Read a report saved by :func:`save_obs_report`."""
+    return ObsReport.from_dict(json.loads(pathlib.Path(path).read_text()))

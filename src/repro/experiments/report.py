@@ -44,7 +44,8 @@ def render_figure(
 ) -> str:
     """Render one figure's table + headline improvements.
 
-    ``metric`` is ``latency`` or ``bandwidth``.
+    ``metric`` is ``latency`` or ``bandwidth``.  A latency cell with no
+    data (no run at that point recovered anything) renders as ``n/a``.
     """
     series = (
         sweep.latency_series() if metric == "latency" else sweep.bandwidth_series()
@@ -53,15 +54,23 @@ def render_figure(
     rows = []
     for i, point in enumerate(sweep.points):
         row = [f"{point.x:g}", f"{point.num_clients:.0f}"]
-        row += [f"{s.ys[i]:.2f}" for s in series]
+        row += [
+            "n/a" if s.ys[i] is None else f"{s.ys[i]:.2f}" for s in series
+        ]
         rows.append(row)
     out = [f"== {title} ({unit}) ==", format_table(headers, rows)]
     if "RP" in sweep.protocols:
-        rp = sweep.overall_mean("RP", metric)
+        try:
+            rp = sweep.overall_mean("RP", metric)
+        except ValueError:
+            return "\n".join(out)
         for other in sweep.protocols:
             if other == "RP":
                 continue
-            them = sweep.overall_mean(other, metric)
+            try:
+                them = sweep.overall_mean(other, metric)
+            except ValueError:
+                continue
             pct = improvement_pct(rp, them)
             direction = "below" if pct >= 0 else "above"
             out.append(

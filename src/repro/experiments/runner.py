@@ -18,6 +18,8 @@ from repro.net.generators import random_backbone
 from repro.net.mcast_tree import MulticastTree, random_multicast_tree
 from repro.net.routing import RoutingTable
 from repro.net.topology import Topology
+from repro.obs.instrumentation import Instrumentation
+from repro.obs.report import ObsReport, build_obs_report
 from repro.protocols.base import CompletionTracker, ProtocolFactory, StreamDriver
 from repro.sim.congestion import LinearCongestionModel
 from repro.sim.engine import EventQueue
@@ -56,15 +58,23 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
 
 @dataclass
 class RunArtifacts:
-    """A run's summary plus its raw collectors, for deeper analysis."""
+    """A run's summary plus its raw collectors, for deeper analysis.
+
+    ``obs`` is the attempt-level telemetry report; ``None`` unless the
+    run was given an :class:`~repro.obs.instrumentation.Instrumentation`
+    with at least one consuming sink.
+    """
 
     summary: RunSummary
     log: RecoveryLog
     ledger: BandwidthLedger
+    obs: ObsReport | None = None
 
 
 def run_protocol(
-    built: BuiltScenario, factory: ProtocolFactory
+    built: BuiltScenario,
+    factory: ProtocolFactory,
+    instrumentation: Instrumentation | None = None,
 ) -> RunSummary:
     """Run one protocol on a built scenario and summarize it.
 
@@ -73,17 +83,30 @@ def run_protocol(
     Raises ``RuntimeError`` if the event budget is exhausted before
     completion (a protocol liveness bug, not a measurement).
     """
-    return run_protocol_detailed(built, factory).summary
+    return run_protocol_detailed(built, factory, instrumentation).summary
 
 
 def run_protocol_detailed(
-    built: BuiltScenario, factory: ProtocolFactory
+    built: BuiltScenario,
+    factory: ProtocolFactory,
+    instrumentation: Instrumentation | None = None,
 ) -> RunArtifacts:
     """Like :func:`run_protocol` but also returns the raw collectors
-    (per-loss timelines, per-kind hop counters)."""
+    (per-loss timelines, per-kind hop counters).
+
+    ``instrumentation`` threads a telemetry bundle through the whole
+    run: the event queue and transmit path get its profiler, the
+    protocol agents its event bus and counters.  Instrumentation never
+    touches the RNG streams or event ordering, so an instrumented run
+    reproduces the uninstrumented one exactly.
+    """
     config = built.config
+    instr = instrumentation
+    profiler = None
+    if instr is not None and instr.enabled:
+        profiler = instr.profiler
     streams = RngStreams(config.seed)
-    events = EventQueue()
+    events = EventQueue(profiler=profiler)
     ledger = BandwidthLedger()
     log = RecoveryLog()
     network = SimNetwork(
@@ -104,13 +127,18 @@ def run_protocol_detailed(
             if config.congestion_alpha > 0
             else None
         ),
+        profiler=profiler,
     )
     clients = built.tree.clients
     tracker = CompletionTracker(len(clients), config.num_packets)
     source_agent = factory.install(
-        network, log, tracker, streams, config.num_packets
+        network, log, tracker, streams, config.num_packets,
+        instrumentation=instr,
     )
-    driver = StreamDriver(network, source_agent, config.stream_config(), tracker)
+    driver = StreamDriver(
+        network, source_agent, config.stream_config(), tracker,
+        instrumentation=instr,
+    )
     driver.start()
 
     events.run(max_events=config.max_events, stop_when=lambda: tracker.complete)
@@ -119,8 +147,12 @@ def run_protocol_detailed(
             f"{factory.name}: session did not complete "
             f"({tracker.remaining} receptions outstanding)"
         )
+    if instr is not None:
+        instr.phase(events.now, "session.complete")
     # Drain: let armed repair timers and in-flight packets finish.
     events.run(until=events.now + config.drain_time, max_events=config.max_events)
+    if instr is not None:
+        instr.phase(events.now, "session.drained")
 
     summary = summarize_run(
         protocol=factory.name,
@@ -131,7 +163,14 @@ def run_protocol_detailed(
         sim_time=events.now,
         events_processed=events.processed,
     )
-    return RunArtifacts(summary=summary, log=log, ledger=ledger)
+    obs = None
+    if instr is not None and instr.enabled and instr.bus.active:
+        obs = build_obs_report(
+            instr,
+            protocol=factory.name.lower(),
+            strategies=getattr(factory, "last_strategies", None) or None,
+        )
+    return RunArtifacts(summary=summary, log=log, ledger=ledger, obs=obs)
 
 
 def run_protocols(

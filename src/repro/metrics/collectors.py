@@ -139,10 +139,16 @@ class RecoveryLog:
             if r.recovered_at is not None
         ]
 
-    def mean_latency(self) -> float:
-        """Average recovery latency per packet recovered (0 if none)."""
+    def mean_latency(self) -> float | None:
+        """Average recovery latency per packet recovered.
+
+        ``None`` when nothing was recovered: "no losses to measure" and
+        "recovered instantly" are different facts, and returning ``0.0``
+        here would let aggregation average phantom zeros into the
+        paper's Figure 5/7 latency quantities.
+        """
         lat = self.latencies()
-        return sum(lat) / len(lat) if lat else 0.0
+        return sum(lat) / len(lat) if lat else None
 
     def latency_percentile(self, q: float) -> float:
         """Latency percentile over recovered losses (0 if none).
@@ -162,14 +168,16 @@ class RecoveryLog:
     def was_lost(self, client: int, seq: int) -> bool:
         return (client, seq) in self._records
 
-    def per_client_stats(self) -> dict[int, tuple[int, float, float]]:
+    def per_client_stats(self) -> dict[int, tuple[int, float | None, float | None]]:
         """Per-client ``(losses, mean latency, last recovery time)``.
 
         The last-recovery time is when the client finally became whole —
         what a file-transfer user actually experiences.  Clients with no
-        recovered losses report ``(losses, 0.0, 0.0)``.
+        recovered losses report ``(losses, None, None)`` rather than
+        zeros, so downstream averages can't mistake "nothing recovered"
+        for "recovered with zero latency".
         """
-        out: dict[int, tuple[int, float, float]] = {}
+        out: dict[int, tuple[int, float | None, float | None]] = {}
         by_client: dict[int, list[_LossRecord]] = {}
         for (client, _), record in self._records.items():
             by_client.setdefault(client, []).append(record)
@@ -181,7 +189,7 @@ class RecoveryLog:
                 )
                 last = max(r.recovered_at for r in recovered)
             else:
-                mean, last = 0.0, 0.0
+                mean, last = None, None
             out[client] = (len(records), mean, last)
         return out
 

@@ -21,6 +21,9 @@ class RunSummary:
     ``avg_latency`` and ``bandwidth_per_recovery`` are the paper's
     Figure 5/7 and Figure 6/8 quantities.  ``losses_detected`` /
     ``losses_recovered`` must match at the end of a fully reliable run.
+
+    ``avg_latency`` is ``None`` when the run recovered nothing — a
+    lossless run has no latency, not a latency of zero.
     """
 
     protocol: str
@@ -28,7 +31,7 @@ class RunSummary:
     num_packets: int
     losses_detected: int
     losses_recovered: int
-    avg_latency: float
+    avg_latency: float | None
     p50_latency: float
     p95_latency: float
     recovery_hops: int
@@ -79,7 +82,8 @@ class AggregateSummary:
     num_runs: int
     mean_clients: float
     mean_losses: float
-    mean_latency: float
+    #: Mean over the runs that recovered something; ``None`` if none did.
+    mean_latency: float | None
     mean_bandwidth_per_recovery: float
     all_fully_recovered: bool
 
@@ -89,7 +93,9 @@ def aggregate_summaries(summaries: list[RunSummary]) -> AggregateSummary:
 
     Latency is averaged *per run* (each run weighted equally, like the
     paper's per-topology points), not pooled over individual
-    recoveries.
+    recoveries.  Runs that recovered nothing (``avg_latency is None``)
+    are excluded from the latency mean rather than averaged in as
+    phantom zeros.
     """
     if not summaries:
         raise ValueError("no summaries to aggregate")
@@ -97,12 +103,13 @@ def aggregate_summaries(summaries: list[RunSummary]) -> AggregateSummary:
     if len(protocols) != 1:
         raise ValueError(f"mixed protocols in aggregation: {sorted(protocols)}")
     n = len(summaries)
+    latencies = [s.avg_latency for s in summaries if s.avg_latency is not None]
     return AggregateSummary(
         protocol=summaries[0].protocol,
         num_runs=n,
         mean_clients=sum(s.num_clients for s in summaries) / n,
         mean_losses=sum(s.losses_detected for s in summaries) / n,
-        mean_latency=sum(s.avg_latency for s in summaries) / n,
+        mean_latency=sum(latencies) / len(latencies) if latencies else None,
         mean_bandwidth_per_recovery=(
             sum(s.bandwidth_per_recovery for s in summaries) / n
         ),

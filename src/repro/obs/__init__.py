@@ -1,0 +1,80 @@
+"""Unified instrumentation: metrics registry, event bus, profiling.
+
+The paper's claim is quantitative — the prioritized list minimizes
+*expected recovery latency* through the conditional loss probabilities
+``DS_j/DS_{j-1}`` — but end-of-run summaries can't show per-attempt
+behaviour.  This subpackage records it:
+
+* :mod:`repro.obs.metrics` — named counters, gauges and histograms
+  (with percentile queries) in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.events` — typed telemetry records (recovery attempts,
+  protocol timers, backoffs, session phases) fanned out by an
+  :class:`EventBus`;
+* :mod:`repro.obs.sinks` — pluggable event destinations: in-memory ring
+  buffer, JSONL file, discarding null sink;
+* :mod:`repro.obs.profiler` — scoped wall-clock timers over the event
+  dispatch loop, the transmit path and the RP planner;
+* :mod:`repro.obs.instrumentation` — the injectable facade bundling the
+  three, with a free disabled default (:data:`NULL_INSTRUMENTATION`);
+* :mod:`repro.obs.report` — reduces a run's telemetry to the
+  attempt-level :class:`ObsReport` (attempts-per-recovery histogram,
+  per-rank success rates vs. the model, top timers).
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy and how to check
+Lemma 3 against recorded attempts.
+"""
+
+from repro.obs.events import (
+    SOURCE_RANK,
+    AttemptEvent,
+    BackoffEvent,
+    EventBus,
+    ObsEvent,
+    PhaseEvent,
+    TimerEvent,
+    event_from_dict,
+)
+from repro.obs.instrumentation import NULL_INSTRUMENTATION, Instrumentation
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import Profiler, TimerStat
+from repro.obs.report import (
+    ObsReport,
+    RankStats,
+    build_obs_report,
+    predicted_rank_success,
+)
+from repro.obs.sinks import (
+    EventSink,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    read_jsonl,
+)
+
+__all__ = [
+    "SOURCE_RANK",
+    "AttemptEvent",
+    "BackoffEvent",
+    "EventBus",
+    "ObsEvent",
+    "PhaseEvent",
+    "TimerEvent",
+    "event_from_dict",
+    "NULL_INSTRUMENTATION",
+    "Instrumentation",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "TimerStat",
+    "ObsReport",
+    "RankStats",
+    "build_obs_report",
+    "predicted_rank_success",
+    "EventSink",
+    "JsonlSink",
+    "NullSink",
+    "RingBufferSink",
+    "read_jsonl",
+]

@@ -1,0 +1,216 @@
+"""The :class:`Instrumentation` facade — one object to thread around.
+
+Carries the three observability facilities as one injectable unit:
+
+* ``registry`` — the :class:`~repro.obs.metrics.MetricsRegistry`;
+* ``bus`` — the :class:`~repro.obs.events.EventBus` with its sinks;
+* ``profiler`` — the :class:`~repro.obs.profiler.Profiler`.
+
+Emit helpers (:meth:`attempt`, :meth:`timer`, :meth:`backoff`,
+:meth:`phase`) keep protocol code terse: they bump the matching
+counters, and construct the typed record only when the bus has a
+consuming sink.
+
+The module-level :data:`NULL_INSTRUMENTATION` is the process-wide
+default every simulation runs with unless a caller injects its own; its
+methods are all no-ops so uninstrumented runs pay nothing beyond the
+attribute checks at the call sites.  Three presets cover the common
+configurations:
+
+* ``Instrumentation.null()`` — the shared disabled singleton;
+* ``Instrumentation.noop()`` — live registry, event emission wired to a
+  discarding sink, profiler off (the overhead bench's middle arm);
+* ``Instrumentation.recording(...)`` — ring buffer (optionally plus a
+  JSONL file), profiler on: everything the ``repro obs`` breakdown and
+  :class:`~repro.obs.report.ObsReport` need.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.obs.events import (
+    SOURCE_RANK,
+    AttemptEvent,
+    BackoffEvent,
+    EventBus,
+    PhaseEvent,
+    TimerEvent,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import Profiler
+from repro.obs.sinks import JsonlSink, NullSink, RingBufferSink
+
+
+class Instrumentation:
+    """Injectable bundle of registry + event bus + profiler."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        bus: EventBus | None = None,
+        profiler: Profiler | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.bus = bus if bus is not None else EventBus()
+        self.profiler = profiler if profiler is not None else Profiler()
+        # Emit helpers run on the protocol hot path; caching the counter
+        # per tuple key skips the dotted-name formatting and registry
+        # lookup after the first emit of each (protocol, status) pair.
+        self._counters: dict[tuple, object] = {}
+
+    # -- presets ---------------------------------------------------------
+
+    @staticmethod
+    def null() -> "Instrumentation":
+        """The shared do-nothing instance (the process-wide default)."""
+        return NULL_INSTRUMENTATION
+
+    @classmethod
+    def noop(cls) -> "Instrumentation":
+        """Emission wired to a discarding sink; profiler off."""
+        return cls(
+            bus=EventBus([NullSink()]), profiler=Profiler(enabled=False)
+        )
+
+    @classmethod
+    def recording(
+        cls,
+        capacity: int = 1_000_000,
+        jsonl_path: str | pathlib.Path | None = None,
+        profile: bool = True,
+    ) -> "Instrumentation":
+        """Ring buffer (+ optional JSONL file), profiler on by default."""
+        sinks: list = [RingBufferSink(capacity)]
+        if jsonl_path is not None:
+            sinks.append(JsonlSink(jsonl_path))
+        return cls(bus=EventBus(sinks), profiler=Profiler(enabled=profile))
+
+    # -- emit helpers ---------------------------------------------------------
+
+    def attempt(
+        self,
+        time: float,
+        protocol: str,
+        client: int,
+        seq: int,
+        attempt: int,
+        rank: int,
+        peer: int,
+        status: str,
+        elapsed: float = 0.0,
+    ) -> None:
+        """A recovery attempt changed state; see
+        :class:`~repro.obs.events.AttemptEvent` for field semantics."""
+        counter = self._counters.get(("attempt", protocol, status))
+        if counter is None:
+            counter = self.registry.counter(f"{protocol}.attempts.{status}")
+            self._counters[("attempt", protocol, status)] = counter
+        counter.value += 1
+        if self.bus.active:
+            self.bus.emit(AttemptEvent(
+                time=time, protocol=protocol, client=client, seq=seq,
+                attempt=attempt, rank=rank, peer=peer, status=status,
+                elapsed=elapsed,
+            ))
+
+    def timer(
+        self,
+        time: float,
+        protocol: str,
+        node: int,
+        label: str,
+        action: str,
+        deadline: float = 0.0,
+    ) -> None:
+        counter = self._counters.get(("timer", protocol, action))
+        if counter is None:
+            counter = self.registry.counter(f"{protocol}.timers.{action}")
+            self._counters[("timer", protocol, action)] = counter
+        counter.value += 1
+        if self.bus.active:
+            self.bus.emit(TimerEvent(
+                time=time, protocol=protocol, node=node, label=label,
+                action=action, deadline=deadline,
+            ))
+
+    def backoff(
+        self, time: float, protocol: str, node: int, seq: int, backoff: int
+    ) -> None:
+        counter = self._counters.get(("backoff", protocol))
+        if counter is None:
+            counter = self.registry.counter(f"{protocol}.backoffs")
+            self._counters[("backoff", protocol)] = counter
+        counter.value += 1
+        if self.bus.active:
+            self.bus.emit(BackoffEvent(
+                time=time, protocol=protocol, node=node, seq=seq,
+                backoff=backoff,
+            ))
+
+    def phase(self, time: float, phase: str, detail: str = "") -> None:
+        counter = self._counters.get(("phase", phase))
+        if counter is None:
+            counter = self.registry.counter(f"phase.{phase}")
+            self._counters[("phase", phase)] = counter
+        counter.value += 1
+        if self.bus.active:
+            self.bus.emit(PhaseEvent(time=time, phase=phase, detail=detail))
+
+    # -- shorthands -------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.registry.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.histogram(name).observe(value)
+
+    def scope(self, name: str):
+        """Profiler scope passthrough (a with-block timer)."""
+        return self.profiler.scope(name)
+
+    def ring_events(self) -> list:
+        """Events held by the first ring-buffer sink (empty if none)."""
+        for sink in self.bus.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink.events()
+        return []
+
+    def close(self) -> None:
+        """Flush and close every sink (JSONL files in particular)."""
+        self.bus.close()
+
+
+class _NullInstrumentation(Instrumentation):
+    """Does nothing, as cheaply as possible."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(profiler=Profiler(enabled=False))
+
+    def attempt(self, *args, **kwargs) -> None:
+        pass
+
+    def timer(self, *args, **kwargs) -> None:
+        pass
+
+    def backoff(self, *args, **kwargs) -> None:
+        pass
+
+    def phase(self, *args, **kwargs) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+#: The process-wide default: fully disabled, shared, stateless.
+NULL_INSTRUMENTATION = _NullInstrumentation()
+
+__all__ = ["Instrumentation", "NULL_INSTRUMENTATION", "SOURCE_RANK"]

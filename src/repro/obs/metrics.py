@@ -1,0 +1,159 @@
+"""Named metric instruments and their registry.
+
+Three instrument families cover what the simulator needs to explain
+itself quantitatively:
+
+* :class:`Counter` — monotonically increasing event counts (requests
+  sent, repairs multicast, timeouts fired);
+* :class:`Gauge` — a sampled level that moves both ways (outstanding
+  recoveries, pending timers);
+* :class:`Histogram` — a distribution with percentile queries
+  (attempts per recovery, per-attempt elapsed time).
+
+A :class:`MetricsRegistry` is a flat name → instrument map with
+get-or-create semantics, so instrumentation sites never coordinate on
+construction order.  Names are dotted lowercase by convention
+(``rp.attempts.started``); the registry enforces only that one name maps
+to one instrument kind.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """Monotonic count; increments must be non-negative."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        self.value += n
+
+
+class Gauge:
+    """A level that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """All observed samples, with nearest-rank percentile queries.
+
+    Samples are kept verbatim (the simulator's volumes are bounded by
+    protocol events, not packets), so percentiles are exact rather than
+    bucket-approximated.  The sorted view is cached and invalidated on
+    the next observation.
+    """
+
+    __slots__ = ("name", "_samples", "_sorted")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: list[float] = []
+        self._sorted: list[float] | None = None
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self._samples else None
+
+    @property
+    def min(self) -> float | None:
+        return min(self._samples) if self._samples else None
+
+    @property
+    def max(self) -> float | None:
+        return max(self._samples) if self._samples else None
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile; ``q`` in [0, 100]; None when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if not self._samples:
+            return None
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ranked = self._sorted
+        rank = int(round(q / 100.0 * (len(ranked) - 1)))
+        return ranked[max(0, min(len(ranked) - 1, rank))]
+
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+
+class MetricsRegistry:
+    """Flat name → instrument map with get-or-create access."""
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as"
+                f" {type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready view: counters/gauges to their value, histograms
+        to a summary dict (count, mean, p50, p95, max)."""
+        out: dict[str, object] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[name] = {
+                    "count": instrument.count,
+                    "mean": instrument.mean,
+                    "p50": instrument.percentile(50.0),
+                    "p95": instrument.percentile(95.0),
+                    "max": instrument.max,
+                }
+            else:
+                out[name] = instrument.value
+        return out

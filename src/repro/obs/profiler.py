@@ -1,0 +1,73 @@
+"""Scoped wall-clock timers for finding hot subsystems.
+
+A :class:`Profiler` accumulates elapsed wall-clock time per label.  The
+hooked subsystems (event dispatch, the network transmit path, the RP
+planner) check ``profiler is None or not profiler.enabled`` before
+paying for ``perf_counter`` calls, so an absent or disabled profiler
+costs one attribute test on the hot path.
+
+Labels are dotted lowercase (``sim.run``, ``net.transmit``,
+``planner.algorithm``).  Scopes may nest and overlap — ``net.transmit``
+time is also inside ``sim.run`` — so totals answer "where does the wall
+clock go *inside* each subsystem", not "what sums to 100%".
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass
+class TimerStat:
+    """Accumulated cost of one label."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Profiler:
+    """Per-label wall-clock accumulator."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._stats: dict[str, TimerStat] = {}
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Record ``seconds`` of wall clock against ``name``."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = TimerStat(name)
+            self._stats[name] = stat
+        stat.count += count
+        stat.total += seconds
+
+    @contextmanager
+    def scope(self, name: str):
+        """Time a with-block against ``name``; no-op when disabled."""
+        if not self.enabled:
+            yield self
+            return
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def stats(self) -> dict[str, TimerStat]:
+        return dict(self._stats)
+
+    def top(self, n: int = 10) -> list[TimerStat]:
+        """The ``n`` most expensive labels by total wall clock."""
+        ranked = sorted(self._stats.values(), key=lambda s: -s.total)
+        return ranked[:n]
+
+    def total(self, name: str) -> float:
+        stat = self._stats.get(name)
+        return stat.total if stat is not None else 0.0

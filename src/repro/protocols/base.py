@@ -21,6 +21,7 @@ import abc
 from dataclasses import dataclass
 
 from repro.metrics.collectors import RecoveryLog
+from repro.obs.instrumentation import NULL_INSTRUMENTATION, Instrumentation
 from repro.sim.network import SimNetwork
 from repro.sim.packet import Packet, PacketKind
 from repro.sim.rng import RngStreams
@@ -73,12 +74,16 @@ class ClientAgent:
         log: RecoveryLog,
         tracker: CompletionTracker,
         num_packets: int,
+        instrumentation: Instrumentation | None = None,
     ):
         self.node = node
         self.network = network
         self.log = log
         self.tracker = tracker
         self.num_packets = num_packets
+        self.instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
         self.received: set[int] = set()
         self.detected: set[int] = set()
         self._next_unchecked = 0
@@ -274,13 +279,18 @@ class StreamDriver:
         source_agent: SourceAgentBase,
         config: StreamConfig,
         tracker: CompletionTracker,
+        instrumentation: Instrumentation | None = None,
     ):
         self.network = network
         self.source_agent = source_agent
         self.config = config
         self.tracker = tracker
+        self.instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
 
     def start(self) -> None:
+        self.instr.phase(self.network.events.now, "stream.start")
         self.network.events.schedule(0.0, lambda: self._send_data(0))
 
     def _send_data(self, seq: int) -> None:
@@ -294,6 +304,11 @@ class StreamDriver:
                 self.config.data_interval, lambda: self._send_data(seq + 1)
             )
         else:
+            self.instr.phase(
+                self.network.events.now,
+                "stream.end",
+                detail=f"sent {self.config.num_packets} packets",
+            )
             self.network.events.schedule(
                 self.config.session_interval, self._send_session
             )
@@ -331,5 +346,6 @@ class ProtocolFactory(abc.ABC):
         tracker: CompletionTracker,
         streams: RngStreams,
         num_packets: int,
+        instrumentation: Instrumentation | None = None,
     ) -> SourceAgentBase:
         ...

@@ -29,6 +29,7 @@ from repro.core.candidates import Candidate
 from repro.core.planner import RecoveryStrategy
 from repro.core.timeouts import ProportionalTimeout, TimeoutPolicy
 from repro.metrics.collectors import RecoveryLog
+from repro.obs.instrumentation import Instrumentation
 from repro.protocols.base import CompletionTracker, ProtocolFactory, SourceAgentBase
 from repro.protocols.rp import RPClientAgent, RPSourceAgent
 from repro.sim.network import SimNetwork
@@ -108,6 +109,7 @@ class _NaiveFactoryBase(ProtocolFactory):
         tracker: CompletionTracker,
         streams: RngStreams,
         num_packets: int,
+        instrumentation: Instrumentation | None = None,
     ) -> SourceAgentBase:
         policy = self.config.timeout_policy or ProportionalTimeout()
         rng = streams.get(f"naive:{self.name}")
@@ -115,7 +117,9 @@ class _NaiveFactoryBase(ProtocolFactory):
             peers = self._peers_for(network, client, rng)
             strategy = _strategy_from_peers(network, client, peers, policy)
             agent = RPClientAgent(
-                client, network, log, tracker, num_packets, strategy
+                client, network, log, tracker, num_packets, strategy,
+                instrumentation=instrumentation,
+                protocol=self.name.lower(),
             )
             network.attach_agent(client, agent)
         source = RPSourceAgent(

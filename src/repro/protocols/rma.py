@@ -41,6 +41,7 @@ from dataclasses import dataclass
 
 from repro.core.timeouts import ProportionalTimeout, TimeoutPolicy
 from repro.metrics.collectors import RecoveryLog
+from repro.obs.instrumentation import SOURCE_RANK, Instrumentation
 from repro.protocols.base import (
     ClientAgent,
     CompletionTracker,
@@ -100,13 +101,21 @@ def upstream_receiver_order(
 
 
 class _PendingSearch:
-    __slots__ = ("seq", "index", "timer", "deadline")
+    __slots__ = (
+        "seq", "index", "timer", "deadline",
+        "detected_at", "attempts_sent", "rank", "peer", "sent_at",
+    )
 
-    def __init__(self, seq: int, deadline: float):
+    def __init__(self, seq: int, deadline: float, detected_at: float = 0.0):
         self.seq = seq
         self.index = 0
         self.timer: Timer | None = None
         self.deadline = deadline
+        self.detected_at = detected_at
+        self.attempts_sent = 0
+        self.rank = SOURCE_RANK
+        self.peer = -1
+        self.sent_at = detected_at
 
 
 class RMAClientAgent(ClientAgent):
@@ -118,8 +127,12 @@ class RMAClientAgent(ClientAgent):
         tracker: CompletionTracker,
         num_packets: int,
         config: RMAConfig,
+        instrumentation: Instrumentation | None = None,
     ):
-        super().__init__(node, network, log, tracker, num_packets)
+        super().__init__(
+            node, network, log, tracker, num_packets,
+            instrumentation=instrumentation,
+        )
         self.timeout_policy = config.timeout_policy or ProportionalTimeout()
         self.search_order = upstream_receiver_order(network, node)
         self._source_rtt = network.routing.rtt(node, network.tree.root)
@@ -135,37 +148,78 @@ class RMAClientAgent(ClientAgent):
     # -- requester side ----------------------------------------------------
 
     def on_loss_detected(self, seq: int) -> None:
+        now = self.network.events.now
         pending = _PendingSearch(
-            seq, deadline=self.network.events.now + self._search_budget
+            seq, deadline=now + self._search_budget, detected_at=now
         )
         self._pending[seq] = pending
         self._send_next(pending)
 
     def _send_next(self, pending: _PendingSearch) -> None:
         request = Packet(PacketKind.REQUEST, pending.seq, origin=self.node)
-        past_deadline = self.network.events.now >= pending.deadline
+        now = self.network.events.now
+        past_deadline = now >= pending.deadline
         if pending.index < len(self.search_order) and not past_deadline:
             peer, rtt = self.search_order[pending.index]
+            rank = pending.index
             timeout = self.timeout_policy.timeout(rtt)
         else:
             peer = self.network.tree.root
+            rank = SOURCE_RANK
             timeout = self.timeout_policy.timeout(self._source_rtt)
+        pending.attempts_sent += 1
+        pending.rank = rank
+        pending.peer = peer
+        pending.sent_at = now
+        self.instr.attempt(
+            now, "rma", self.node, pending.seq, pending.attempts_sent,
+            rank, peer, "started", elapsed=now - pending.detected_at,
+        )
         self.network.send_unicast(self.node, peer, request)
         pending.timer = self.network.events.schedule(
             timeout, lambda: self._on_timeout(pending)
+        )
+        self.instr.timer(
+            now, "rma", self.node, "rma.search", "armed", deadline=now + timeout
         )
 
     def _on_timeout(self, pending: _PendingSearch) -> None:
         if pending.seq not in self._pending:
             return
+        now = self.network.events.now
+        self.instr.timer(now, "rma", self.node, "rma.search", "fired")
+        self.instr.attempt(
+            now, "rma", self.node, pending.seq, pending.attempts_sent,
+            pending.rank, pending.peer, "timed_out",
+            elapsed=now - pending.sent_at,
+        )
         if pending.index < len(self.search_order):
             pending.index += 1  # escalate; the deadline may cut this short
         self._send_next(pending)
 
     def on_recovered(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
-        if pending is not None and pending.timer is not None:
+        if pending is None:
+            return
+        now = self.network.events.now
+        if pending.timer is not None:
             pending.timer.cancel()
+            self.instr.timer(now, "rma", self.node, "rma.search", "cancelled")
+        if self.log.is_recovered(self.node, seq):
+            self.instr.attempt(
+                now, "rma", self.node, seq, pending.attempts_sent,
+                pending.rank, pending.peer, "succeeded",
+                elapsed=now - pending.detected_at,
+            )
+            self.instr.observe(
+                "rma.attempts_per_recovery", pending.attempts_sent
+            )
+        else:
+            self.instr.attempt(
+                now, "rma", self.node, seq, pending.attempts_sent,
+                pending.rank, pending.peer, "retracted",
+                elapsed=now - pending.detected_at,
+            )
 
     # -- visited-receiver side ---------------------------------------------------
 
@@ -230,10 +284,12 @@ class RMAProtocolFactory(ProtocolFactory):
         tracker: CompletionTracker,
         streams: RngStreams,
         num_packets: int,
+        instrumentation: Instrumentation | None = None,
     ) -> SourceAgentBase:
         for client in network.tree.clients:
             agent = RMAClientAgent(
-                client, network, log, tracker, num_packets, self.config
+                client, network, log, tracker, num_packets, self.config,
+                instrumentation=instrumentation,
             )
             network.attach_agent(client, agent)
         source = RMASourceAgent(network.tree.root, network)

@@ -28,6 +28,7 @@ from repro.core.objective import AttemptCostEstimator
 from repro.core.strategy_graph import StrategyRestrictions
 from repro.core.timeouts import TimeoutPolicy
 from repro.metrics.collectors import RecoveryLog
+from repro.obs.instrumentation import SOURCE_RANK, Instrumentation
 from repro.protocols.base import (
     ClientAgent,
     CompletionTracker,
@@ -82,13 +83,30 @@ class RPConfig:
 class _PendingRecovery:
     """State machine for one in-progress loss recovery."""
 
-    __slots__ = ("seq", "attempt_index", "timer", "req_id")
+    __slots__ = (
+        "seq",
+        "attempt_index",
+        "timer",
+        "req_id",
+        "detected_at",
+        "attempts_sent",
+        "rank",
+        "peer",
+        "sent_at",
+    )
 
-    def __init__(self, seq: int):
+    def __init__(self, seq: int, detected_at: float = 0.0):
         self.seq = seq
         self.attempt_index = 0
         self.timer: Timer | None = None
         self.req_id = -1
+        # Telemetry bookkeeping: when the loss clock started, how many
+        # requests went out, and where the latest one went.
+        self.detected_at = detected_at
+        self.attempts_sent = 0
+        self.rank = SOURCE_RANK
+        self.peer = -1
+        self.sent_at = detected_at
 
 
 class RPClientAgent(ClientAgent):
@@ -103,17 +121,23 @@ class RPClientAgent(ClientAgent):
         num_packets: int,
         strategy: RecoveryStrategy,
         negative_acks: bool = False,
+        instrumentation: Instrumentation | None = None,
+        protocol: str = "rp",
     ):
-        super().__init__(node, network, log, tracker, num_packets)
+        super().__init__(
+            node, network, log, tracker, num_packets,
+            instrumentation=instrumentation,
+        )
         self.strategy = strategy
         self.negative_acks = negative_acks
+        self.protocol = protocol
         self._pending: dict[int, _PendingRecovery] = {}
         self._req_counter = 0
 
     # -- recovery state machine ------------------------------------------
 
     def on_loss_detected(self, seq: int) -> None:
-        pending = _PendingRecovery(seq)
+        pending = _PendingRecovery(seq, detected_at=self.network.events.now)
         self._pending[seq] = pending
         self._send_next_request(pending)
 
@@ -130,20 +154,42 @@ class RPClientAgent(ClientAgent):
         )
         if index < len(attempts):
             peer = attempts[index].node
+            rank = index
             timeout = self.strategy.timeouts[index]
-            self.network.send_unicast(self.node, peer, request)
         else:
             # Source fallback; retried on timeout forever.
             peer = self.network.tree.root
+            rank = SOURCE_RANK
             timeout = self.strategy.source_timeout
-            self.network.send_unicast(self.node, peer, request)
+        now = self.network.events.now
+        pending.attempts_sent += 1
+        pending.rank = rank
+        pending.peer = peer
+        pending.sent_at = now
+        self.instr.attempt(
+            now, self.protocol, self.node, pending.seq,
+            pending.attempts_sent, rank, peer, "started",
+            elapsed=now - pending.detected_at,
+        )
+        self.network.send_unicast(self.node, peer, request)
         pending.timer = self.network.events.schedule(
             timeout, lambda: self._on_timeout(pending)
+        )
+        self.instr.timer(
+            now, self.protocol, self.node, "rp.attempt", "armed",
+            deadline=now + timeout,
         )
 
     def _on_timeout(self, pending: _PendingRecovery) -> None:
         if pending.seq not in self._pending:
             return  # already recovered; timer raced with teardown
+        now = self.network.events.now
+        self.instr.timer(now, self.protocol, self.node, "rp.attempt", "fired")
+        self.instr.attempt(
+            now, self.protocol, self.node, pending.seq,
+            pending.attempts_sent, pending.rank, pending.peer, "timed_out",
+            elapsed=now - pending.sent_at,
+        )
         if pending.attempt_index < len(self.strategy.attempts):
             pending.attempt_index += 1
         # else: stay on the source and retry it.
@@ -151,8 +197,33 @@ class RPClientAgent(ClientAgent):
 
     def on_recovered(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
-        if pending is not None and pending.timer is not None:
+        if pending is None:
+            return
+        now = self.network.events.now
+        if pending.timer is not None:
             pending.timer.cancel()
+            self.instr.timer(
+                now, self.protocol, self.node, "rp.attempt", "cancelled"
+            )
+        if self.log.is_recovered(self.node, seq):
+            # Success is attributed to the outstanding attempt: repairs
+            # raced from an earlier rank are rare and indistinguishable
+            # here without packet provenance.
+            self.instr.attempt(
+                now, self.protocol, self.node, seq,
+                pending.attempts_sent, pending.rank, pending.peer,
+                "succeeded", elapsed=now - pending.detected_at,
+            )
+            self.instr.observe(
+                f"{self.protocol}.attempts_per_recovery", pending.attempts_sent
+            )
+        else:
+            # The original DATA arrived late — the detection was false.
+            self.instr.attempt(
+                now, self.protocol, self.node, seq,
+                pending.attempts_sent, pending.rank, pending.peer,
+                "retracted", elapsed=now - pending.detected_at,
+            )
 
     # -- serving peers ------------------------------------------------------
 
@@ -186,8 +257,17 @@ class RPClientAgent(ClientAgent):
         pending = self._pending.get(packet.seq)
         if pending is None or packet.req_id != pending.req_id:
             return  # stale reply from an already-advanced attempt
+        now = self.network.events.now
         if pending.timer is not None:
             pending.timer.cancel()
+            self.instr.timer(
+                now, self.protocol, self.node, "rp.attempt", "cancelled"
+            )
+        self.instr.attempt(
+            now, self.protocol, self.node, pending.seq,
+            pending.attempts_sent, pending.rank, pending.peer, "nacked",
+            elapsed=now - pending.sent_at,
+        )
         if pending.attempt_index < len(self.strategy.attempts):
             pending.attempt_index += 1
         self._send_next_request(pending)
@@ -245,6 +325,9 @@ class RPProtocolFactory(ProtocolFactory):
 
     def __init__(self, config: RPConfig | None = None):
         self.config = config or RPConfig()
+        #: Strategies planned by the most recent :meth:`install` —
+        #: telemetry reports read them for the per-rank predictions.
+        self.last_strategies: dict[int, RecoveryStrategy] = {}
 
     def install(
         self,
@@ -253,6 +336,7 @@ class RPProtocolFactory(ProtocolFactory):
         tracker: CompletionTracker,
         streams: RngStreams,
         num_packets: int,
+        instrumentation: Instrumentation | None = None,
     ) -> SourceAgentBase:
         estimator = self.config.estimator
         if estimator is None and self.config.negative_acks:
@@ -267,16 +351,23 @@ class RPProtocolFactory(ProtocolFactory):
             timeout_policy=self.config.timeout_policy,
             estimator=estimator,
             restrictions=self.config.restrictions,
+            profiler=(
+                instrumentation.profiler if instrumentation is not None else None
+            ),
         )
+        self.last_strategies = {}
         for client in network.tree.clients:
+            strategy = planner.plan(client)
+            self.last_strategies[client] = strategy
             agent = RPClientAgent(
                 client,
                 network,
                 log,
                 tracker,
                 num_packets,
-                strategy=planner.plan(client),
+                strategy=strategy,
                 negative_acks=self.config.negative_acks,
+                instrumentation=instrumentation,
             )
             network.attach_agent(client, agent)
         subgrouping = (

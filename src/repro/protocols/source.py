@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.core.timeouts import ProportionalTimeout, TimeoutPolicy
 from repro.metrics.collectors import RecoveryLog
+from repro.obs.instrumentation import SOURCE_RANK, Instrumentation
 from repro.protocols.base import (
     ClientAgent,
     CompletionTracker,
@@ -49,17 +50,32 @@ class SourceRecoveryClientAgent(ClientAgent):
         tracker: CompletionTracker,
         num_packets: int,
         timeout_policy: TimeoutPolicy,
+        instrumentation: Instrumentation | None = None,
     ):
-        super().__init__(node, network, log, tracker, num_packets)
+        super().__init__(
+            node, network, log, tracker, num_packets,
+            instrumentation=instrumentation,
+        )
         self._timeout = timeout_policy.timeout(
             network.routing.rtt(node, network.tree.root)
         )
         self._timers: dict[int, Timer] = {}
+        self._detected_at: dict[int, float] = {}
+        self._attempts: dict[int, int] = {}
 
     def on_loss_detected(self, seq: int) -> None:
+        self._detected_at[seq] = self.network.events.now
+        self._attempts[seq] = 0
         self._request(seq)
 
     def _request(self, seq: int) -> None:
+        now = self.network.events.now
+        self._attempts[seq] = self._attempts.get(seq, 0) + 1
+        self.instr.attempt(
+            now, "source", self.node, seq, self._attempts[seq],
+            SOURCE_RANK, self.network.tree.root, "started",
+            elapsed=now - self._detected_at.get(seq, now),
+        )
         self.network.send_unicast(
             self.node,
             self.network.tree.root,
@@ -68,15 +84,43 @@ class SourceRecoveryClientAgent(ClientAgent):
         self._timers[seq] = self.network.events.schedule(
             self._timeout, lambda: self._on_timeout(seq)
         )
+        self.instr.timer(
+            now, "source", self.node, "source.request", "armed",
+            deadline=now + self._timeout,
+        )
 
     def _on_timeout(self, seq: int) -> None:
         if seq in self._timers:
+            now = self.network.events.now
+            self.instr.timer(now, "source", self.node, "source.request", "fired")
+            self.instr.attempt(
+                now, "source", self.node, seq, self._attempts.get(seq, 0),
+                SOURCE_RANK, self.network.tree.root, "timed_out",
+                elapsed=self._timeout,
+            )
             self._request(seq)  # retry until repaired
 
     def on_recovered(self, seq: int) -> None:
         timer = self._timers.pop(seq, None)
         if timer is not None:
             timer.cancel()
+            self.instr.timer(
+                self.network.events.now, "source", self.node,
+                "source.request", "cancelled",
+            )
+        detected_at = self._detected_at.pop(seq, None)
+        attempts = self._attempts.pop(seq, 0)
+        if detected_at is None:
+            return
+        now = self.network.events.now
+        status = "succeeded" if self.log.is_recovered(self.node, seq) else "retracted"
+        self.instr.attempt(
+            now, "source", self.node, seq, attempts,
+            SOURCE_RANK, self.network.tree.root, status,
+            elapsed=now - detected_at,
+        )
+        if status == "succeeded" and attempts:
+            self.instr.observe("source.attempts_per_recovery", attempts)
 
 
 class SourceRecoverySourceAgent(SourceAgentBase):
@@ -108,11 +152,13 @@ class SourceProtocolFactory(ProtocolFactory):
         tracker: CompletionTracker,
         streams: RngStreams,
         num_packets: int,
+        instrumentation: Instrumentation | None = None,
     ) -> SourceAgentBase:
         policy = self.config.timeout_policy or ProportionalTimeout()
         for client in network.tree.clients:
             agent = SourceRecoveryClientAgent(
-                client, network, log, tracker, num_packets, policy
+                client, network, log, tracker, num_packets, policy,
+                instrumentation=instrumentation,
             )
             network.attach_agent(client, agent)
         source = SourceRecoverySourceAgent(

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.metrics.collectors import RecoveryLog
+from repro.obs.instrumentation import NULL_INSTRUMENTATION, Instrumentation
 from repro.protocols.base import (
     ClientAgent,
     CompletionTracker,
@@ -79,11 +80,15 @@ class _SRMRepairLogic:
         network: SimNetwork,
         config: SRMConfig,
         rng: np.random.Generator,
+        instrumentation: Instrumentation | None = None,
     ):
         self._srm_node = node
         self._srm_network = network
         self._srm_config = config
         self._srm_rng = rng
+        self._srm_instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
         self._repair_timers: dict[int, Timer] = {}
         self._repair_hold_until: dict[int, float] = {}
 
@@ -100,9 +105,17 @@ class _SRMRepairLogic:
         self._repair_timers[seq] = self._srm_network.events.schedule(
             delay, lambda: self._fire_repair(seq, requester)
         )
+        self._srm_instr.timer(
+            now, "srm", self._srm_node, "srm.repair", "armed",
+            deadline=now + delay,
+        )
 
     def _fire_repair(self, seq: int, requester: int) -> None:
         self._repair_timers.pop(seq, None)
+        self._srm_instr.timer(
+            self._srm_network.events.now, "srm", self._srm_node,
+            "srm.repair", "fired",
+        )
         cfg = self._srm_config
         d_a = self._srm_network.routing.delay(self._srm_node, requester)
         self._repair_hold_until[seq] = (
@@ -117,6 +130,10 @@ class _SRMRepairLogic:
         timer = self._repair_timers.pop(seq, None)
         if timer is not None:
             timer.cancel()
+            self._srm_instr.timer(
+                self._srm_network.events.now, "srm", self._srm_node,
+                "srm.repair", "cancelled",
+            )
         # Seeing someone else's repair also starts our hold period:
         # without it we might respond to a retransmitted NACK that the
         # just-seen repair is already answering.
@@ -130,12 +147,14 @@ class _SRMRepairLogic:
 
 
 class _PendingRequest:
-    __slots__ = ("seq", "backoff", "timer")
+    __slots__ = ("seq", "backoff", "timer", "detected_at", "attempts_sent")
 
-    def __init__(self, seq: int):
+    def __init__(self, seq: int, detected_at: float = 0.0):
         self.seq = seq
         self.backoff = 0
         self.timer: Timer | None = None
+        self.detected_at = detected_at
+        self.attempts_sent = 0
 
 
 class SRMClientAgent(ClientAgent, _SRMRepairLogic):
@@ -150,9 +169,15 @@ class SRMClientAgent(ClientAgent, _SRMRepairLogic):
         num_packets: int,
         config: SRMConfig,
         rng: np.random.Generator,
+        instrumentation: Instrumentation | None = None,
     ):
-        ClientAgent.__init__(self, node, network, log, tracker, num_packets)
-        _SRMRepairLogic.__init__(self, node, network, config, rng)
+        ClientAgent.__init__(
+            self, node, network, log, tracker, num_packets,
+            instrumentation=instrumentation,
+        )
+        _SRMRepairLogic.__init__(
+            self, node, network, config, rng, instrumentation=instrumentation
+        )
         self.config = config
         self._rng = rng
         self._d_source = network.routing.delay(node, network.tree.root)
@@ -170,30 +195,62 @@ class SRMClientAgent(ClientAgent, _SRMRepairLogic):
     def _arm_request(self, pending: _PendingRequest) -> None:
         if pending.timer is not None:
             pending.timer.cancel()
+        delay = self._request_delay(pending.backoff)
+        now = self.network.events.now
         pending.timer = self.network.events.schedule(
-            self._request_delay(pending.backoff),
-            lambda: self._fire_request(pending),
+            delay, lambda: self._fire_request(pending)
+        )
+        self.instr.timer(
+            now, "srm", self.node, "srm.request", "armed", deadline=now + delay
         )
 
     def _fire_request(self, pending: _PendingRequest) -> None:
         if pending.seq not in self._requests:
             return
+        now = self.network.events.now
+        self.instr.timer(now, "srm", self.node, "srm.request", "fired")
+        pending.attempts_sent += 1
+        # SRM has no prioritized list; every NACK flood addresses the
+        # whole group, recorded as rank 0.
+        self.instr.attempt(
+            now, "srm", self.node, pending.seq, pending.attempts_sent,
+            0, -1, "started", elapsed=now - pending.detected_at,
+        )
         self.network.flood_tree(
             self.node, Packet(PacketKind.NACK, pending.seq, origin=self.node)
         )
         # Wait (with backoff) for the repair; if it is lost, NACK again.
         pending.backoff += 1
+        self.instr.backoff(now, "srm", self.node, pending.seq, pending.backoff)
         self._arm_request(pending)
 
     def on_loss_detected(self, seq: int) -> None:
-        pending = _PendingRequest(seq)
+        pending = _PendingRequest(seq, detected_at=self.network.events.now)
         self._requests[seq] = pending
         self._arm_request(pending)
 
     def on_recovered(self, seq: int) -> None:
         pending = self._requests.pop(seq, None)
-        if pending is not None and pending.timer is not None:
+        if pending is None:
+            return
+        now = self.network.events.now
+        if pending.timer is not None:
             pending.timer.cancel()
+            self.instr.timer(now, "srm", self.node, "srm.request", "cancelled")
+        if self.log.is_recovered(self.node, seq):
+            self.instr.attempt(
+                now, "srm", self.node, seq, pending.attempts_sent, 0, -1,
+                "succeeded", elapsed=now - pending.detected_at,
+            )
+            if pending.attempts_sent:
+                self.instr.observe(
+                    "srm.attempts_per_recovery", pending.attempts_sent
+                )
+        else:
+            self.instr.attempt(
+                now, "srm", self.node, seq, pending.attempts_sent, 0, -1,
+                "retracted", elapsed=now - pending.detected_at,
+            )
 
     # -- overheard traffic ---------------------------------------------------
 
@@ -205,6 +262,9 @@ class SRMClientAgent(ClientAgent, _SRMRepairLogic):
         if pending is not None:
             # Someone else asked first: suppress and back off.
             pending.backoff += 1
+            self.instr.backoff(
+                self.network.events.now, "srm", self.node, seq, pending.backoff
+            )
             self._arm_request(pending)
         elif self.has(seq):
             self._maybe_schedule_repair(seq, packet.origin)
@@ -224,9 +284,12 @@ class SRMSourceAgent(SourceAgentBase, _SRMRepairLogic):
         network: SimNetwork,
         config: SRMConfig,
         rng: np.random.Generator,
+        instrumentation: Instrumentation | None = None,
     ):
         SourceAgentBase.__init__(self, node, network)
-        _SRMRepairLogic.__init__(self, node, network, config, rng)
+        _SRMRepairLogic.__init__(
+            self, node, network, config, rng, instrumentation=instrumentation
+        )
 
     def on_request(self, packet: Packet) -> None:
         # SRM has no unicast requests; treat defensively as a NACK.
@@ -255,13 +318,18 @@ class SRMProtocolFactory(ProtocolFactory):
         tracker: CompletionTracker,
         streams: RngStreams,
         num_packets: int,
+        instrumentation: Instrumentation | None = None,
     ) -> SourceAgentBase:
         rng = streams.get("srm-timers")
         for client in network.tree.clients:
             agent = SRMClientAgent(
-                client, network, log, tracker, num_packets, self.config, rng
+                client, network, log, tracker, num_packets, self.config, rng,
+                instrumentation=instrumentation,
             )
             network.attach_agent(client, agent)
-        source = SRMSourceAgent(network.tree.root, network, self.config, rng)
+        source = SRMSourceAgent(
+            network.tree.root, network, self.config, rng,
+            instrumentation=instrumentation,
+        )
         network.attach_agent(source.node, source)
         return source

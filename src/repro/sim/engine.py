@@ -18,7 +18,11 @@ reproducible network simulation and are guaranteed here:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profiler import Profiler
 
 
 class Timer:
@@ -47,11 +51,15 @@ class Timer:
 class EventQueue:
     """The simulator clock and future-event list."""
 
-    def __init__(self):
+    def __init__(self, profiler: "Profiler | None" = None):
         self._now = 0.0
         self._heap: list[Timer] = []
         self._seq = 0
         self._processed = 0
+        # Optional wall-clock profiling of the dispatch loop; one scope
+        # per run() call (not per event), so an attached-but-disabled
+        # profiler costs nothing on the hot path.
+        self.profiler = profiler
 
     @property
     def now(self) -> float:
@@ -117,6 +125,27 @@ class EventQueue:
             Checked after every event; return True to stop early (e.g.
             "all clients fully recovered").
         """
+        profiler = self.profiler
+        if profiler is not None and profiler.enabled:
+            t0 = time.perf_counter()
+            before = self._processed
+            try:
+                self._run(until, max_events, stop_when)
+            finally:
+                profiler.add(
+                    "events.run",
+                    time.perf_counter() - t0,
+                    count=self._processed - before,
+                )
+            return
+        self._run(until, max_events, stop_when)
+
+    def _run(
+        self,
+        until: float | None,
+        max_events: int | None,
+        stop_when: Callable[[], bool] | None,
+    ) -> None:
         executed = 0
         while self._heap:
             # Peek past cancelled entries.

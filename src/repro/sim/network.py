@@ -28,6 +28,7 @@ protocol code observes a consistent clock.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
@@ -40,6 +41,7 @@ from repro.sim.packet import Packet, PacketKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle breaker
     from repro.metrics.collectors import BandwidthLedger
+    from repro.obs.profiler import Profiler
 
 
 class Agent(Protocol):
@@ -65,6 +67,7 @@ class SimNetwork:
         jitter: float = 0.0,
         jitter_rng: np.random.Generator | None = None,
         congestion: "object | None" = None,
+        profiler: "Profiler | None" = None,
     ):
         # Imported here, not at module level: metrics.collectors imports
         # sim.packet, so a module-level import would be circular.
@@ -100,6 +103,9 @@ class SimNetwork:
         # Optional load-dependent delays (LinearCongestionModel); None
         # keeps the paper's load-independent links.
         self._congestion = congestion
+        # Optional wall-clock profiling of the transmit path; None (or a
+        # disabled profiler) keeps the hot path at one attribute test.
+        self._profiler = profiler
         self.ledger = ledger if ledger is not None else BandwidthLedger()
         self._agents: dict[int, Agent] = {}
 
@@ -128,12 +134,32 @@ class SimNetwork:
         to_node: int,
         packet: Packet,
         on_arrival: Callable[[], None],
-    ) -> None:
+    ) -> bool:
         """Put ``packet`` on ``link`` toward ``to_node``.
 
         Charges the hop, draws the loss, and schedules ``on_arrival``
-        after the link delay when the packet survives.
+        after the link delay when the packet survives.  Returns whether
+        the packet survived the loss draw — the authoritative
+        survive/drop outcome tracing and telemetry consume (inferring
+        it from event-heap growth would mislabel transmissions whenever
+        a hook or future primitive schedules differently).
         """
+        profiler = self._profiler
+        if profiler is None or not profiler.enabled:
+            return self._transmit_now(link, to_node, packet, on_arrival)
+        t0 = time.perf_counter()
+        try:
+            return self._transmit_now(link, to_node, packet, on_arrival)
+        finally:
+            profiler.add("net.transmit", time.perf_counter() - t0)
+
+    def _transmit_now(
+        self,
+        link: Link,
+        to_node: int,
+        packet: Packet,
+        on_arrival: Callable[[], None],
+    ) -> bool:
         self.ledger.charge_hop(packet.kind)
         lossy = link.loss_prob > 0.0 and not (
             self._lossless_recovery and packet.is_recovery_traffic
@@ -141,7 +167,7 @@ class SimNetwork:
         rng = self._data_loss_rng if packet.kind is PacketKind.DATA else self._loss_rng
         if lossy and rng.random() < link.loss_prob:
             self.ledger.charge_drop(packet.kind)
-            return
+            return False
         delay = link.delay
         if self._jitter > 0.0:
             assert self._jitter_rng is not None
@@ -157,8 +183,9 @@ class SimNetwork:
                 on_arrival()
 
             self.events.schedule(delay, arrive_and_release)
-            return
+            return True
         self.events.schedule(delay, on_arrival)
+        return True
 
     # -- unicast ---------------------------------------------------------------
 

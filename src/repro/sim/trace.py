@@ -94,15 +94,14 @@ class TraceRecorder:
 
         def traced_transmit(link, to_node, packet, on_arrival):
             src = link.other(to_node)
-            # Drop inference: the original transmit schedules the
-            # arrival event iff the packet survived the loss draw.
-            before = len(network.events._heap)
-            recorder._orig_transmit(link, to_node, packet, on_arrival)
-            scheduled = len(network.events._heap) > before
+            # The network reports the loss-draw outcome directly, so the
+            # label stays correct however the transmit schedules events.
+            survived = recorder._orig_transmit(link, to_node, packet, on_arrival)
             recorder._record(
-                TraceKind.TRANSMIT if scheduled else TraceKind.DROP,
+                TraceKind.TRANSMIT if survived else TraceKind.DROP,
                 packet, node=to_node, peer=src,
             )
+            return survived
 
         def traced_deliver(node, packet):
             recorder._record(TraceKind.DELIVER, packet, node=node)

@@ -90,8 +90,8 @@ class TestRecoveryLog:
         assert not log.is_recovered(1, 1)
         assert not log.is_recovered(2, 0)
 
-    def test_mean_latency_empty_is_zero(self):
-        assert RecoveryLog().mean_latency() == 0.0
+    def test_mean_latency_empty_is_none(self):
+        assert RecoveryLog().mean_latency() is None
 
     def test_was_lost(self):
         log = RecoveryLog()
@@ -144,7 +144,7 @@ class TestPerClientStats:
         assert losses == 2
         assert mean == 20.0
         assert last == 35.0
-        assert stats[2] == (1, 0.0, 0.0)
+        assert stats[2] == (1, None, None)
 
     def test_empty_log(self):
         assert RecoveryLog().per_client_stats() == {}

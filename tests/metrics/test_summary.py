@@ -46,7 +46,7 @@ class TestSummarizeRun:
             "RP", 2, 5, RecoveryLog(), BandwidthLedger(), 1.0, 0
         )
         assert summary.bandwidth_per_recovery == 0.0
-        assert summary.avg_latency == 0.0
+        assert summary.avg_latency is None
 
     def test_unrecovered_loss_flagged(self):
         log = RecoveryLog()

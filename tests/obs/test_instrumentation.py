@@ -1,0 +1,152 @@
+"""Tests for the Instrumentation facade, profiler, and report folding."""
+
+import pytest
+
+from repro.obs import (
+    NULL_INSTRUMENTATION,
+    SOURCE_RANK,
+    Instrumentation,
+    ObsReport,
+    build_obs_report,
+)
+from repro.obs.events import AttemptEvent
+from repro.obs.profiler import Profiler
+
+
+class TestProfiler:
+    def test_scope_accumulates(self):
+        prof = Profiler()
+        with prof.scope("work"):
+            pass
+        with prof.scope("work"):
+            pass
+        stat = prof.stats()["work"]
+        assert stat.count == 2
+        assert stat.total >= 0.0
+        assert prof.total("work") == stat.total
+
+    def test_disabled_scope_records_nothing(self):
+        prof = Profiler(enabled=False)
+        with prof.scope("work"):
+            pass
+        assert prof.stats() == {}
+        assert prof.total("work") == 0.0
+
+    def test_top_ranked_by_total(self):
+        prof = Profiler()
+        prof.add("cheap", 0.001)
+        prof.add("hot", 1.0, count=10)
+        assert [s.name for s in prof.top(2)] == ["hot", "cheap"]
+        assert prof.stats()["hot"].mean == pytest.approx(0.1)
+
+
+class TestFacade:
+    def test_null_is_shared_and_disabled(self):
+        assert Instrumentation.null() is NULL_INSTRUMENTATION
+        assert not NULL_INSTRUMENTATION.enabled
+        # Emitting through it leaves no trace anywhere.
+        NULL_INSTRUMENTATION.attempt(
+            0.0, "rp", 1, 0, 1, 0, 2, "started"
+        )
+        NULL_INSTRUMENTATION.count("x")
+        NULL_INSTRUMENTATION.observe("h", 1.0)
+        assert NULL_INSTRUMENTATION.registry.names() == []
+        assert NULL_INSTRUMENTATION.ring_events() == []
+
+    def test_noop_counts_but_stores_no_events(self):
+        instr = Instrumentation.noop()
+        instr.attempt(0.0, "rp", 1, 0, 1, 0, 2, "started")
+        assert instr.registry.counter("rp.attempts.started").value == 1
+        assert not instr.bus.active
+        assert instr.ring_events() == []
+        assert not instr.profiler.enabled
+
+    def test_recording_captures_typed_events(self):
+        instr = Instrumentation.recording(capacity=16)
+        instr.attempt(1.0, "rp", 7, 3, 1, 0, 12, "started")
+        instr.attempt(41.0, "rp", 7, 3, 1, 0, 12, "timed_out", elapsed=40.0)
+        instr.timer(1.0, "rp", 7, "rp.request", "armed", deadline=41.0)
+        instr.backoff(2.0, "srm", 5, 9, 1)
+        instr.phase(99.0, "session.complete")
+        events = instr.ring_events()
+        assert [e.kind for e in events] == [
+            "attempt", "attempt", "timer", "backoff", "phase"
+        ]
+        assert events[1].elapsed == 40.0
+        assert instr.registry.counter("rp.attempts.started").value == 1
+        assert instr.registry.counter("rp.timers.armed").value == 1
+        assert instr.registry.counter("srm.backoffs").value == 1
+        assert instr.registry.counter("phase.session.complete").value == 1
+
+    def test_recording_streams_to_jsonl(self, tmp_path):
+        from repro.obs.sinks import read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        instr = Instrumentation.recording(jsonl_path=path)
+        instr.attempt(1.0, "rp", 7, 3, 1, 0, 12, "started")
+        instr.close()
+        assert list(read_jsonl(path)) == instr.ring_events()
+
+
+def _attempt(time, client, seq, attempt, rank, status, elapsed=0.0):
+    return AttemptEvent(
+        time=time, protocol="rp", client=client, seq=seq, attempt=attempt,
+        rank=rank, peer=0, status=status, elapsed=elapsed,
+    )
+
+
+class TestBuildReport:
+    def _instr_with(self, events):
+        instr = Instrumentation.recording(capacity=64)
+        for event in events:
+            instr.bus.emit(event)
+        return instr
+
+    def test_folds_attempt_outcomes(self):
+        # Client 7 seq 3: v1 times out, source succeeds (2 attempts).
+        # Client 8 seq 1: v1 succeeds first try.
+        instr = self._instr_with([
+            _attempt(0.0, 7, 3, 1, 0, "started"),
+            _attempt(40.0, 7, 3, 1, 0, "timed_out", elapsed=40.0),
+            _attempt(40.0, 7, 3, 2, SOURCE_RANK, "started"),
+            _attempt(90.0, 7, 3, 2, SOURCE_RANK, "succeeded", elapsed=90.0),
+            _attempt(0.0, 8, 1, 1, 0, "started"),
+            _attempt(30.0, 8, 1, 1, 0, "succeeded", elapsed=30.0),
+        ])
+        report = build_obs_report(instr, protocol="rp")
+        assert report.recoveries == 2
+        assert report.attempts_total == 3
+        assert report.attempts_by_status == {
+            "started": 3, "timed_out": 1, "succeeded": 2
+        }
+        assert report.attempts_per_recovery == {1: 1, 2: 1}
+        assert report.mean_attempts_per_recovery == pytest.approx(1.5)
+        # v1 first, source last.
+        assert [r.label for r in report.per_rank] == ["v1", "source"]
+        v1, source = report.per_rank
+        assert (v1.attempts, v1.successes, v1.timeouts) == (2, 1, 1)
+        assert v1.success_rate == pytest.approx(0.5)
+        assert (source.attempts, source.successes) == (1, 1)
+
+    def test_report_round_trips_through_json(self):
+        import json
+
+        instr = self._instr_with([
+            _attempt(0.0, 7, 3, 1, 0, "started"),
+            _attempt(30.0, 7, 3, 1, 0, "succeeded", elapsed=30.0),
+        ])
+        report = build_obs_report(instr, protocol="rp")
+        data = json.loads(json.dumps(report.to_dict()))
+        restored = ObsReport.from_dict(data)
+        assert restored == report
+        assert "rp attempt-level breakdown" in restored.render()
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            ObsReport.from_dict({"schema": 999})
+
+    def test_empty_run_renders(self):
+        report = build_obs_report(Instrumentation.recording(), protocol="rp")
+        assert report.recoveries == 0
+        assert report.mean_attempts_per_recovery is None
+        assert "recoveries: 0" in report.render()

@@ -1,0 +1,111 @@
+"""Tests for the metric instruments and their registry."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge("pending")
+        g.set(3.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_empty_stats_are_none(self):
+        h = Histogram("lat")
+        assert h.count == 0
+        assert h.mean is None
+        assert h.min is None
+        assert h.max is None
+        assert h.percentile(50.0) is None
+
+    def test_basic_stats(self):
+        h = Histogram("lat")
+        for v in (4.0, 1.0, 7.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 16.0
+        assert h.mean == 4.0
+        assert h.min == 1.0
+        assert h.max == 7.0
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(100.0) == 100.0
+        assert h.percentile(50.0) == pytest.approx(51.0, abs=1.0)
+        assert h.percentile(95.0) >= h.percentile(50.0)
+
+    def test_percentile_cache_invalidated_by_new_sample(self):
+        h = Histogram("lat")
+        h.observe(10.0)
+        assert h.percentile(100.0) == 10.0
+        h.observe(99.0)
+        assert h.percentile(100.0) == 99.0
+
+    def test_percentile_rejects_out_of_range(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(100.1)
+
+    def test_samples_returns_copy(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        h.samples().append(2.0)
+        assert h.count == 1
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+        with pytest.raises(TypeError):
+            reg.histogram("a")
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.gauge("a")
+        assert reg.names() == ["a", "z"]
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        h = reg.histogram("h")
+        h.observe(2.0)
+        h.observe(4.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 2
+        assert snap["h"]["mean"] == 3.0
+        assert snap["h"]["max"] == 4.0

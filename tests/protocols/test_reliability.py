@@ -47,7 +47,7 @@ class TestFullReliability:
         summary, _ = run(factory, loss_prob=0.0)
         assert summary.losses_detected == 0
         assert summary.recovery_hops == 0
-        assert summary.avg_latency == 0.0
+        assert summary.avg_latency is None
 
     @pytest.mark.parametrize("factory", FACTORIES)
     def test_latencies_positive_and_finite(self, factory):
