@@ -1,0 +1,113 @@
+"""Parallel sweep speedup: sequential vs ``jobs=N`` wall clock.
+
+Runs the same shrunken campaign (2 backbone sizes + 2 loss points,
+3 seeds, 3 protocols = 36 simulation units) twice — ``jobs=1`` (the
+in-process sequential path) and ``jobs=N`` (the process-pool fan-out) —
+and writes the wall-clock ratio to ``BENCH_parallel_speedup.json`` at
+the repo root.  Determinism is asserted as a side effect: both arms
+must produce byte-identical sweep JSON, or the "speedup" would compare
+different work.
+
+The acceptance target is ≥ 1.8× at ``jobs=4``, which obviously needs
+hardware: the JSON records ``cpu_count`` next to the measured ratio and
+``within_target`` is judged only when at least 4 cores are available.
+On starved machines (CI sandboxes pinned to 1-2 cores) the bench still
+runs — it then mostly measures pool overhead — and only the determinism
+assertion is binding.
+
+Scale knobs (environment variables): ``REPRO_BENCH_JOBS`` (default 4),
+``REPRO_BENCH_PACKETS`` (default 20 here — lighter than the figure
+benches so both arms finish quickly).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from benchmarks.conftest import record
+from repro.experiments.campaign import run_campaign
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_parallel_speedup.json"
+
+TARGET_SPEEDUP = 1.8
+
+CAMPAIGN = dict(
+    seeds=(1, 2, 3),
+    client_routers=(80, 120),
+    loss_probs=(0.05, 0.10),
+    loss_routers=120,
+    progress=lambda *_: None,
+)
+
+
+def _jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+
+def _packets() -> int:
+    return int(os.environ.get("REPRO_BENCH_PACKETS", "20"))
+
+
+def test_parallel_speedup(tmp_path):
+    jobs = _jobs()
+    packets = _packets()
+
+    def arm(n_jobs: int, out: pathlib.Path) -> float:
+        t0 = time.perf_counter()
+        run_campaign(out, num_packets=packets, jobs=n_jobs, **CAMPAIGN)
+        return time.perf_counter() - t0
+
+    sequential = arm(1, tmp_path / "seq")
+    parallel = arm(jobs, tmp_path / "par")
+
+    # Bit-identical output is a precondition of a meaningful ratio.
+    for name in ("client_sweep.json", "loss_sweep.json"):
+        assert (tmp_path / "seq" / name).read_bytes() == (
+            tmp_path / "par" / name
+        ).read_bytes(), f"{name} differs between jobs=1 and jobs={jobs}"
+
+    cpu_count = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    speedup = sequential / parallel
+    units = 2 * len(CAMPAIGN["seeds"]) * 3 * 2  # points x seeds x protocols x sweeps
+    payload = {
+        "campaign": {
+            "num_packets": packets,
+            "seeds": list(CAMPAIGN["seeds"]),
+            "client_routers": list(CAMPAIGN["client_routers"]),
+            "loss_probs": list(CAMPAIGN["loss_probs"]),
+            "loss_routers": CAMPAIGN["loss_routers"],
+            "units": units,
+        },
+        "jobs": jobs,
+        "cpu_count": cpu_count,
+        "sequential_seconds": sequential,
+        "parallel_seconds": parallel,
+        "speedup": speedup,
+        "deterministic": True,
+        "target_speedup": TARGET_SPEEDUP,
+        "within_target": speedup >= TARGET_SPEEDUP,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+    record(
+        f"== Parallel sweep speedup ({units} units, jobs={jobs},"
+        f" {cpu_count} cores) ==\n"
+        f"sequential {sequential:6.1f} s\n"
+        f"jobs={jobs}     {parallel:6.1f} s\n"
+        f"speedup    {speedup:6.2f}x (target {TARGET_SPEEDUP}x,"
+        f" byte-identical output)\n"
+        f"written to {RESULT_PATH.name}"
+    )
+
+    # The hard target needs ≥ 4 cores; below that only gross regressions
+    # (pool overhead dwarfing the simulation work) should trip.
+    if cpu_count >= 4 and jobs >= 4:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"parallel speedup {speedup:.2f}x below the"
+            f" {TARGET_SPEEDUP}x target on {cpu_count} cores"
+        )
+    else:
+        assert speedup >= 0.3, (
+            f"parallel path {speedup:.2f}x — pool overhead is pathological"
+        )

@@ -131,7 +131,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         num_packets=args.packets,
         seeds=seeds,
         lossless_recovery=not args.lossy_recovery,
+        jobs=args.jobs,
+        progress=print if args.jobs > 1 else None,
     )
+    for failure in sweep.failures:
+        print(
+            f"WARNING: unit failed after {failure.attempts} attempts"
+            f" (x={failure.x:g} seed={failure.seed} {failure.protocol}):"
+            f" {failure.error}"
+        )
     metric, title, unit = _figure_meta(args.number)
     print(render_figure(sweep, metric, title, unit))
     if args.plot:
@@ -243,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--load", metavar="PATH", default=None,
         help="render a previously saved sweep instead of simulating",
     )
+    p_fig.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (results are bit-identical"
+        " to --jobs 1; default 1)",
+    )
     p_fig.set_defaults(func=_cmd_figure)
 
     p_obs = sub.add_parser(
@@ -290,6 +303,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="also record one instrumented run per protocol and save"
         " its attempt-level report next to the sweeps",
     )
+    p_campaign.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per sweep (results are bit-identical"
+        " to --jobs 1; default 1)",
+    )
+    p_campaign.add_argument(
+        "--client-routers", type=int, nargs="+", default=None,
+        metavar="N",
+        help="override the Figures 5-6 backbone sizes (shrinks the"
+        " campaign for smoke runs)",
+    )
+    p_campaign.add_argument(
+        "--loss-probs", type=float, nargs="+", default=None, metavar="P",
+        help="override the Figures 7-8 loss probabilities",
+    )
+    p_campaign.add_argument(
+        "--loss-routers", type=int, default=None, metavar="N",
+        help="override the Figures 7-8 backbone size (paper: 500)",
+    )
     p_campaign.set_defaults(func=_cmd_campaign)
     return parser
 
@@ -303,6 +335,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seeds=tuple(args.seeds),
         lossless_recovery=not args.lossy_recovery,
         telemetry=args.telemetry,
+        jobs=args.jobs,
+        client_routers=(
+            tuple(args.client_routers)
+            if args.client_routers is not None else None
+        ),
+        loss_probs=(
+            tuple(args.loss_probs) if args.loss_probs is not None else None
+        ),
+        loss_routers=args.loss_routers,
     )
     return 0
 

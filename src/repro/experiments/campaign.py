@@ -25,6 +25,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.persistence import save_sweep
 from repro.experiments.report import improvement_pct, render_figure
+from repro.obs.profiler import Profiler
 
 
 @dataclass(frozen=True)
@@ -58,16 +59,37 @@ class CampaignResult:
     obs_paths: dict[str, pathlib.Path] = field(default_factory=dict)
 
 
+def _overall_mean_or_none(
+    sweep: SweepResult, protocol: str, metric: str
+) -> float | None:
+    """``overall_mean`` with the no-data guard ``render_figure`` uses:
+    a protocol with no measurement anywhere in the sweep (routine for
+    latency in ``--lossy-recovery`` mode at high p) yields ``None``
+    instead of raising after all the simulation work is done."""
+    try:
+        return sweep.overall_mean(protocol, metric)
+    except ValueError:
+        return None
+
+
 def _figure_block(sweep: SweepResult, ref: PaperReference) -> str:
     unit = "ms" if ref.metric == "latency" else "hops"
     table = render_figure(
         sweep, ref.metric, f"Figure {ref.figure}", unit
     )
-    rp = sweep.overall_mean("RP", ref.metric)
-    srm = sweep.overall_mean("SRM", ref.metric)
-    rma = sweep.overall_mean("RMA", ref.metric)
-    measured_srm = improvement_pct(rp, srm)
-    measured_rma = improvement_pct(rp, rma)
+    rp = _overall_mean_or_none(sweep, "RP", ref.metric)
+    srm = _overall_mean_or_none(sweep, "SRM", ref.metric)
+    rma = _overall_mean_or_none(sweep, "RMA", ref.metric)
+    measured_srm = (
+        improvement_pct(rp, srm) if rp is not None and srm is not None else None
+    )
+    measured_rma = (
+        improvement_pct(rp, rma) if rp is not None and rma is not None else None
+    )
+
+    def cell(value: float | None) -> str:
+        return "n/a" if value is None else f"{value:.2f}%"
+
     lines = [
         f"## Figure {ref.figure}",
         "",
@@ -77,8 +99,8 @@ def _figure_block(sweep: SweepResult, ref: PaperReference) -> str:
         "",
         "| RP improvement | paper | measured |",
         "|---|---|---|",
-        f"| vs SRM | {ref.vs_srm_pct:.2f}% | {measured_srm:.2f}% |",
-        f"| vs RMA | {ref.vs_rma_pct:.2f}% | {measured_rma:.2f}% |",
+        f"| vs SRM | {ref.vs_srm_pct:.2f}% | {cell(measured_srm)} |",
+        f"| vs RMA | {ref.vs_rma_pct:.2f}% | {cell(measured_rma)} |",
         "",
     ]
     return "\n".join(lines)
@@ -91,41 +113,85 @@ def run_campaign(
     lossless_recovery: bool = True,
     client_routers: tuple[int, ...] | None = None,
     loss_probs: tuple[float, ...] | None = None,
+    loss_routers: int | None = None,
     progress=print,
     telemetry: bool = False,
     telemetry_routers: int = 100,
+    jobs: int = 1,
 ) -> CampaignResult:
     """Run both sweeps, persist them, and write ``REPORT.md``.
 
-    ``client_routers`` / ``loss_probs`` override the paper's sweep
-    points (used by tests to shrink the campaign); ``progress`` receives
-    status lines (pass ``lambda *_: None`` to silence).
+    ``client_routers`` / ``loss_probs`` / ``loss_routers`` override the
+    paper's sweep points (used by tests and CI to shrink the campaign);
+    ``progress`` receives status lines (pass ``lambda *_: None`` to
+    silence).
+
+    ``jobs > 1`` runs each sweep's (point, seed, protocol) grid on that
+    many worker processes with bit-identical results (see
+    :mod:`repro.experiments.parallel`); failed units are reported and
+    listed in ``REPORT.md`` instead of aborting the campaign.
 
     With ``telemetry`` one fully instrumented run per protocol is added
     on a ``telemetry_routers``-sized network and its attempt-level
     :class:`~repro.obs.report.ObsReport` saved as ``obs_<name>.json``
     next to the sweeps.
     """
+    if not seeds:
+        raise ValueError(
+            "run_campaign requires at least one seed (seeds is empty)"
+        )
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     out = pathlib.Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+    profiler = Profiler() if jobs > 1 else None
 
-    progress("running Figures 5-6 sweep (backbone size, p = 5%)...")
+    progress(
+        f"running Figures 5-6 sweep (backbone size, p = 5%)"
+        f"{f' on {jobs} workers' if jobs > 1 else ''}..."
+    )
     client_kwargs = dict(
         num_packets=num_packets, seeds=seeds,
         lossless_recovery=lossless_recovery,
+        jobs=jobs, profiler=profiler,
     )
     if client_routers is not None:
         client_kwargs["num_routers"] = client_routers
     client_sweep = run_client_sweep(**client_kwargs)
 
-    progress("running Figures 7-8 sweep (per-link loss, n = 500)...")
+    progress(
+        f"running Figures 7-8 sweep (per-link loss, n = 500)"
+        f"{f' on {jobs} workers' if jobs > 1 else ''}..."
+    )
     loss_kwargs = dict(
         num_packets=num_packets, seeds=seeds,
         lossless_recovery=lossless_recovery,
+        jobs=jobs, profiler=profiler,
     )
     if loss_probs is not None:
         loss_kwargs["loss_probs"] = loss_probs
+    if loss_routers is not None:
+        loss_kwargs["num_routers"] = loss_routers
     loss_sweep = run_loss_sweep(**loss_kwargs)
+
+    failures = [
+        (label, failure)
+        for label, sweep in (("client", client_sweep), ("loss", loss_sweep))
+        for failure in sweep.failures
+    ]
+    for label, failure in failures:
+        progress(
+            f"WARNING: {label} sweep unit failed after {failure.attempts}"
+            f" attempts (x={failure.x:g} seed={failure.seed}"
+            f" {failure.protocol}): {failure.error}"
+        )
+    if profiler is not None:
+        stat = profiler.stats().get("parallel.unit")
+        if stat is not None:
+            progress(
+                f"parallel execution: {stat.count} units,"
+                f" {stat.total:.1f}s of simulation across {jobs} workers"
+            )
 
     sweep_paths = {
         "client": out / "client_sweep.json",
@@ -171,6 +237,22 @@ def run_campaign(
     sweeps = {5: client_sweep, 6: client_sweep, 7: loss_sweep, 8: loss_sweep}
     for ref in PAPER_REFERENCES:
         blocks.append(_figure_block(sweeps[ref.figure], ref))
+    if failures:
+        blocks += [
+            "## Failed units",
+            "",
+            "These (point, seed, protocol) runs failed even after a"
+            " retry; their figures above average the remaining runs.",
+            "",
+            "| sweep | x | seed | protocol | attempts | error |",
+            "|---|---|---|---|---|---|",
+        ]
+        blocks += [
+            f"| {label} | {f.x:g} | {f.seed} | {f.protocol}"
+            f" | {f.attempts} | {f.error} |"
+            for label, f in failures
+        ]
+        blocks.append("")
     report_path = out / "REPORT.md"
     report_path.write_text("\n".join(blocks))
     progress(f"report written to {report_path}")

@@ -25,11 +25,13 @@ judged against:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field, replace
 
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import run_protocols
+from repro.experiments.runner import ensure_unique_factories, run_protocols
 from repro.metrics.summary import RunSummary
+from repro.obs.profiler import Profiler
 from repro.protocols.base import ProtocolFactory
 from repro.protocols.rma import RMAProtocolFactory
 from repro.protocols.rp import RPProtocolFactory
@@ -52,6 +54,19 @@ def default_protocols() -> list[ProtocolFactory]:
     return [SRMProtocolFactory(), RMAProtocolFactory(), RPProtocolFactory()]
 
 
+@dataclass(frozen=True)
+class UnitFailure:
+    """One sweep unit (point × seed × protocol) that still failed after
+    its retry.  Parallel sweeps record these on the
+    :class:`SweepResult` instead of discarding the completed siblings."""
+
+    x: float
+    seed: int
+    protocol: str
+    error: str
+    attempts: int
+
+
 @dataclass
 class SweepPoint:
     """One x-axis point of a sweep: per-protocol run summaries, averaged
@@ -71,8 +86,13 @@ class SweepPoint:
         ]
         return sum(values) / len(values) if values else None
 
-    def mean_bandwidth(self, protocol: str) -> float:
+    def mean_bandwidth(self, protocol: str) -> float | None:
+        """Per-protocol bandwidth at this point; ``None`` when every run
+        of the protocol here failed (parallel mode marks failed units
+        instead of aborting the sweep)."""
         runs = self.runs[protocol]
+        if not runs:
+            return None
         return sum(r.bandwidth_per_recovery for r in runs) / len(runs)
 
 
@@ -89,11 +109,16 @@ class FigureSeries:
 
 @dataclass
 class SweepResult:
-    """A completed sweep backing one figure pair."""
+    """A completed sweep backing one figure pair.
+
+    ``failures`` lists the units a parallel sweep (``jobs > 1``) marked
+    failed after their retry; it is empty on the sequential path, which
+    raises on the first failure instead."""
 
     x_label: str
     points: list[SweepPoint]
     protocols: list[str]
+    failures: list[UnitFailure] = field(default_factory=list)
 
     def latency_series(self) -> list[FigureSeries]:
         return [
@@ -127,7 +152,11 @@ class SweepResult:
                 if (v := pt.mean_latency(protocol)) is not None
             ]
         elif metric == "bandwidth":
-            values = [pt.mean_bandwidth(protocol) for pt in self.points]
+            values = [
+                v
+                for pt in self.points
+                if (v := pt.mean_bandwidth(protocol)) is not None
+            ]
         else:
             raise ValueError(f"unknown metric {metric!r}")
         if not values:
@@ -143,8 +172,27 @@ def _sweep(
     x_label: str,
     factories: list[ProtocolFactory] | None,
     seeds: tuple[int, ...],
+    jobs: int = 1,
+    progress: Callable[[str], None] | None = None,
+    profiler: Profiler | None = None,
 ) -> SweepResult:
     factories = factories if factories is not None else default_protocols()
+    ensure_unique_factories(factories)
+    if not seeds:
+        raise ValueError(
+            "seeds must be non-empty: a sweep needs at least one"
+            " experiment seed"
+        )
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs > 1:
+        # Imported lazily: the parallel layer depends on this module.
+        from repro.experiments.parallel import run_parallel_sweep
+
+        return run_parallel_sweep(
+            configs, xs, x_label, factories, seeds, jobs,
+            progress=progress, profiler=profiler,
+        )
     points = []
     for x, base in zip(xs, configs):
         runs: dict[str, list[RunSummary]] = {f.name: [] for f in factories}
@@ -178,11 +226,17 @@ def run_client_sweep(
     seeds: tuple[int, ...] = (1,),
     factories: list[ProtocolFactory] | None = None,
     lossless_recovery: bool = True,
+    jobs: int = 1,
+    progress: Callable[[str], None] | None = None,
+    profiler: Profiler | None = None,
 ) -> SweepResult:
     """The Figures 5–6 sweep: backbone size at fixed 5% per-link loss.
 
     ``lossless_recovery`` defaults to the paper simulator's behaviour
     (recovery traffic never lost); pass False for the realistic mode.
+    ``jobs > 1`` fans the grid out over worker processes with results
+    bit-identical to the sequential default (see
+    :mod:`repro.experiments.parallel`).
     """
     configs = [
         ScenarioConfig(seed=0, num_routers=n, loss_prob=loss_prob,
@@ -191,7 +245,8 @@ def run_client_sweep(
         for n in num_routers
     ]
     return _sweep(configs, [float(n) for n in num_routers],
-                  "backbone routers", factories, seeds)
+                  "backbone routers", factories, seeds,
+                  jobs=jobs, progress=progress, profiler=profiler)
 
 
 def run_loss_sweep(
@@ -201,6 +256,9 @@ def run_loss_sweep(
     seeds: tuple[int, ...] = (1,),
     factories: list[ProtocolFactory] | None = None,
     lossless_recovery: bool = True,
+    jobs: int = 1,
+    progress: Callable[[str], None] | None = None,
+    profiler: Profiler | None = None,
 ) -> SweepResult:
     """The Figures 7–8 sweep: per-link loss on the 500-router topology.
 
@@ -217,4 +275,5 @@ def run_loss_sweep(
         for p in loss_probs
     ]
     return _sweep(configs, [100.0 * p for p in loss_probs],
-                  "per-link loss (%)", factories, seeds)
+                  "per-link loss (%)", factories, seeds,
+                  jobs=jobs, progress=progress, profiler=profiler)

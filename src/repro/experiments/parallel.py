@@ -1,0 +1,322 @@
+"""Parallel sweep execution.
+
+A figure sweep is an embarrassingly parallel grid — every
+``(config point, seed, protocol)`` triple is one independent simulation,
+because each run derives *all* of its randomness from
+``RngStreams(config.seed)`` named streams (topology, tree, per-protocol
+loss and timers) and shares nothing mutable with its siblings.  This
+module decomposes a sweep into self-describing :class:`SweepUnit` work
+units, fans them out over a :class:`~concurrent.futures.ProcessPoolExecutor`,
+and reassembles the :class:`~repro.experiments.figures.SweepPoint` grid
+in deterministic order, so a parallel sweep is **bit-identical** to the
+sequential one (enforced by the fixed-seed equivalence tests).
+
+Workers build scenarios on their side of the fork and keep a small LRU
+cache keyed by ``(seed, topology knobs)``: the three protocols of one
+seed reuse one built topology/tree/routing whenever they land on the
+same worker, mirroring the sequential path's build-once discipline.
+
+Failure policy: a unit whose run raises — or whose worker process dies
+outright (:class:`BrokenProcessPool`) — is retried once; a second
+failure marks the unit failed and the sweep *continues*, recording a
+:class:`~repro.experiments.figures.UnitFailure` on the result instead of
+discarding the completed sibling runs.  Per-unit wall clock is folded
+into the ``repro.obs`` profiler under ``parallel.unit`` /
+``parallel.unit.<protocol>``, and progress callbacks fire in unit order
+regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import OrderedDict
+from collections.abc import Callable
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import (
+    SweepPoint,
+    SweepResult,
+    UnitFailure,
+)
+from repro.experiments.runner import BuiltScenario, build_scenario, run_protocol
+from repro.metrics.summary import RunSummary
+from repro.obs.profiler import Profiler
+from repro.protocols.base import ProtocolFactory
+
+#: How many units a failing unit is attempted in total (1 try + 1 retry).
+MAX_ATTEMPTS = 2
+
+#: Worker-side scenario cache capacity (scenarios, not bytes).
+SCENARIO_CACHE_SIZE = 4
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One self-describing simulation of a sweep grid.
+
+    ``index`` is the unit's position in the deterministic enumeration
+    order (points outermost, then seeds, then protocols — exactly the
+    sequential loop's order); reassembly and progress reporting key on
+    it.  ``config`` already carries the unit's seed; ``factory`` is the
+    protocol spec and must be picklable (the stock factories are).
+    """
+
+    index: int
+    point_index: int
+    seed_index: int
+    x: float
+    config: ScenarioConfig
+    factory: ProtocolFactory
+    protocol: str
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """A unit's run summary plus worker-side metadata."""
+
+    index: int
+    summary: RunSummary
+    num_clients: int
+    elapsed: float
+    attempts: int
+
+
+# -- worker side ----------------------------------------------------------
+
+_scenario_cache: OrderedDict[tuple, BuiltScenario] = OrderedDict()
+
+
+def _cached_scenario(config: ScenarioConfig) -> BuiltScenario:
+    """Build (or reuse) the scenario for ``config`` in this worker.
+
+    The cache key is ``(seed, topology knobs)`` — everything the
+    topology, tree and routing depend on.  Stream knobs (packet count,
+    drain time, ...) are *not* part of the key, so a hit swaps the
+    cached network under the unit's own config.
+    """
+    key = (config.seed, config.topology_config())
+    cached = _scenario_cache.get(key)
+    if cached is not None:
+        _scenario_cache.move_to_end(key)
+        return replace(cached, config=config)
+    built = build_scenario(config)
+    _scenario_cache[key] = built
+    while len(_scenario_cache) > SCENARIO_CACHE_SIZE:
+        _scenario_cache.popitem(last=False)
+    return built
+
+
+def _execute_unit(unit: SweepUnit) -> tuple[int, RunSummary, int, float]:
+    """Run one unit in a worker process."""
+    t0 = time.perf_counter()
+    built = _cached_scenario(unit.config)
+    summary = run_protocol(built, unit.factory)
+    return unit.index, summary, built.num_clients, time.perf_counter() - t0
+
+
+# -- parent side ----------------------------------------------------------
+
+
+def _new_executor(jobs: int) -> ProcessPoolExecutor:
+    # fork is much cheaper than spawn (no interpreter/numpy re-import per
+    # worker) and results are identical either way; fall back where fork
+    # does not exist (Windows, macOS sandboxes).
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+
+
+def run_units(
+    units: list[SweepUnit],
+    jobs: int,
+    progress: Callable[[str], None] | None = None,
+    profiler: Profiler | None = None,
+    max_attempts: int = MAX_ATTEMPTS,
+) -> tuple[dict[int, UnitResult], dict[int, UnitFailure]]:
+    """Fan ``units`` out over ``jobs`` worker processes.
+
+    Returns ``(results, failures)`` keyed by unit index; every unit ends
+    up in exactly one of the two.  ``progress`` (if given) receives one
+    line per unit **in unit order** — completions arriving out of order
+    are buffered until their turn.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    order = {unit.index: pos for pos, unit in enumerate(units)}
+    if sorted(order) != list(range(len(units))):
+        raise ValueError("unit indexes must be 0..n-1")
+    results: dict[int, UnitResult] = {}
+    failures: dict[int, UnitFailure] = {}
+    attempts: dict[int, int] = {unit.index: 0 for unit in units}
+    queue: list[SweepUnit] = list(units)
+    pending: dict[Future, SweepUnit] = {}
+    next_report = 0
+
+    def settle(unit: SweepUnit, error: BaseException) -> None:
+        """Requeue a failed unit, or mark it failed after the retry."""
+        if attempts[unit.index] < max_attempts:
+            queue.append(unit)
+            return
+        failures[unit.index] = UnitFailure(
+            x=unit.x,
+            seed=unit.config.seed,
+            protocol=unit.protocol,
+            error=f"{type(error).__name__}: {error}",
+            attempts=attempts[unit.index],
+        )
+
+    def report_ready() -> None:
+        nonlocal next_report
+        if progress is None:
+            return
+        total = len(units)
+        while next_report < total:
+            unit = units[next_report]
+            if unit.index in results:
+                result = results[unit.index]
+                detail = f"ok in {result.elapsed:.2f}s"
+                if result.attempts > 1:
+                    detail += f" (attempt {result.attempts})"
+            elif unit.index in failures:
+                failure = failures[unit.index]
+                detail = (
+                    f"FAILED after {failure.attempts} attempts:"
+                    f" {failure.error}"
+                )
+            else:
+                return
+            progress(
+                f"[{next_report + 1}/{total}] x={unit.x:g}"
+                f" seed={unit.config.seed} {unit.protocol}: {detail}"
+            )
+            next_report += 1
+
+    executor = _new_executor(jobs)
+    try:
+        while queue or pending:
+            while queue:
+                unit = queue.pop(0)
+                attempts[unit.index] += 1
+                pending[executor.submit(_execute_unit, unit)] = unit
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                unit = pending.pop(future)
+                try:
+                    index, summary, num_clients, elapsed = future.result()
+                except BrokenProcessPool as exc:
+                    broken = True
+                    settle(unit, exc)
+                except Exception as exc:
+                    settle(unit, exc)
+                else:
+                    results[index] = UnitResult(
+                        index=index,
+                        summary=summary,
+                        num_clients=num_clients,
+                        elapsed=elapsed,
+                        attempts=attempts[index],
+                    )
+                    if profiler is not None:
+                        profiler.add("parallel.unit", elapsed)
+                        profiler.add(f"parallel.unit.{unit.protocol}", elapsed)
+            if broken:
+                # The pool is dead: every still-pending future is doomed.
+                # Requeue (or fail) them all and start a fresh pool.
+                crash = BrokenProcessPool(
+                    "worker process died before the unit finished"
+                )
+                for unit in pending.values():
+                    settle(unit, crash)
+                pending.clear()
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = _new_executor(jobs)
+            report_ready()
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return results, failures
+
+
+def run_parallel_sweep(
+    configs: list[ScenarioConfig],
+    xs: list[float],
+    x_label: str,
+    factories: list[ProtocolFactory],
+    seeds: tuple[int, ...],
+    jobs: int,
+    progress: Callable[[str], None] | None = None,
+    profiler: Profiler | None = None,
+) -> SweepResult:
+    """Parallel drop-in for the sequential ``_sweep`` loop.
+
+    Enumerates units in the sequential loop's order, executes them with
+    :func:`run_units`, and reassembles points so that a fully successful
+    parallel sweep equals the sequential :class:`SweepResult` exactly
+    (same floats, same dict insertion order, same saved JSON bytes).
+    """
+    units: list[SweepUnit] = []
+    for point_index, (x, base) in enumerate(zip(xs, configs)):
+        for seed_index, seed in enumerate(seeds):
+            config = replace(base, seed=seed)
+            for factory in factories:
+                units.append(
+                    SweepUnit(
+                        index=len(units),
+                        point_index=point_index,
+                        seed_index=seed_index,
+                        x=x,
+                        config=config,
+                        factory=factory,
+                        protocol=factory.name,
+                    )
+                )
+    if profiler is not None:
+        with profiler.scope("parallel.sweep"):
+            results, failures = run_units(
+                units, jobs, progress=progress, profiler=profiler
+            )
+    else:
+        results, failures = run_units(units, jobs, progress=progress)
+
+    num_factories = len(factories)
+    points: list[SweepPoint] = []
+    for point_index, x in enumerate(xs):
+        runs: dict[str, list[RunSummary]] = {f.name: [] for f in factories}
+        client_counts: list[int] = []
+        for seed_index in range(len(seeds)):
+            base_index = (
+                point_index * len(seeds) + seed_index
+            ) * num_factories
+            seed_clients: int | None = None
+            for offset, factory in enumerate(factories):
+                result = results.get(base_index + offset)
+                if result is None:
+                    continue
+                runs[factory.name].append(result.summary)
+                if seed_clients is None:
+                    seed_clients = result.num_clients
+            if seed_clients is not None:
+                client_counts.append(seed_clients)
+        points.append(
+            SweepPoint(
+                x=x,
+                num_clients=(
+                    sum(client_counts) / len(client_counts)
+                    if client_counts
+                    else 0.0
+                ),
+                runs=runs,
+            )
+        )
+    return SweepResult(
+        x_label=x_label,
+        points=points,
+        protocols=[f.name for f in factories],
+        failures=[failures[i] for i in sorted(failures)],
+    )

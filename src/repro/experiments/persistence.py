@@ -18,7 +18,7 @@ import json
 import pathlib
 from dataclasses import asdict
 
-from repro.experiments.figures import SweepPoint, SweepResult
+from repro.experiments.figures import SweepPoint, SweepResult, UnitFailure
 from repro.metrics.summary import RunSummary
 from repro.obs.report import ObsReport
 
@@ -32,6 +32,7 @@ def sweep_to_dict(sweep: SweepResult) -> dict:
         "schema": SCHEMA_VERSION,
         "x_label": sweep.x_label,
         "protocols": list(sweep.protocols),
+        "failures": [asdict(failure) for failure in sweep.failures],
         "points": [
             {
                 "x": point.x,
@@ -66,6 +67,10 @@ def sweep_from_dict(data: dict) -> SweepResult:
         x_label=data["x_label"],
         points=points,
         protocols=list(data["protocols"]),
+        # Absent in files written before the parallel layer existed.
+        failures=[
+            UnitFailure(**failure) for failure in data.get("failures", [])
+        ],
     )
 
 

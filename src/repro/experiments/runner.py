@@ -173,9 +173,31 @@ def run_protocol_detailed(
     return RunArtifacts(summary=summary, log=log, ledger=ledger, obs=obs)
 
 
+def ensure_unique_factories(factories: list[ProtocolFactory]) -> None:
+    """Raise when two factories share a ``name``.
+
+    Every result container downstream (run dicts, sweep points, saved
+    JSON) is keyed by factory name, so a duplicate — e.g. two
+    differently configured naive strategies — would silently overwrite
+    the first factory's results instead of comparing them.
+    """
+    seen: set[str] = set()
+    duplicates: list[str] = []
+    for factory in factories:
+        if factory.name in seen and factory.name not in duplicates:
+            duplicates.append(factory.name)
+        seen.add(factory.name)
+    if duplicates:
+        raise ValueError(
+            f"duplicate protocol factory names {duplicates}: results are"
+            " keyed by name; give each factory a distinct name"
+        )
+
+
 def run_protocols(
     config: ScenarioConfig, factories: list[ProtocolFactory]
 ) -> dict[str, RunSummary]:
     """Build once, run every factory; returns summaries keyed by name."""
+    ensure_unique_factories(factories)
     built = build_scenario(config)
     return {f.name: run_protocol(built, f) for f in factories}

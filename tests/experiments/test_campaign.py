@@ -51,6 +51,48 @@ class TestCampaign:
             json.loads(path.read_text())
 
 
+class TestCampaignRobustness:
+    def test_empty_seeds_rejected_before_any_work(self, tmp_path):
+        with pytest.raises(ValueError, match="seed"):
+            run_campaign(tmp_path / "out", seeds=())
+        # Validation fires before the output directory is created.
+        assert not (tmp_path / "out").exists()
+
+    def test_no_latency_data_renders_na_instead_of_crashing(self, tmp_path):
+        # 6 routers / 2 packets / p = 1% produce zero losses, so no
+        # protocol has latency data anywhere; before the guard this
+        # raised ValueError *after* both sweeps had completed.
+        result = run_campaign(
+            tmp_path,
+            num_packets=2,
+            seeds=(1,),
+            client_routers=(6,),
+            loss_probs=(0.01,),
+            loss_routers=6,
+            progress=lambda *_: None,
+        )
+        text = result.report_path.read_text()
+        assert "n/a" in text
+        for figure in (5, 6, 7, 8):
+            assert f"## Figure {figure}" in text
+
+    def test_parallel_campaign_bit_identical(self, tmp_path):
+        kwargs = dict(
+            num_packets=4,
+            seeds=(1, 2),
+            client_routers=(15,),
+            loss_probs=(0.05,),
+            loss_routers=15,
+            progress=lambda *_: None,
+        )
+        run_campaign(tmp_path / "seq", jobs=1, **kwargs)
+        run_campaign(tmp_path / "par", jobs=2, **kwargs)
+        for name in ("client_sweep.json", "loss_sweep.json", "REPORT.md"):
+            assert (tmp_path / "seq" / name).read_bytes() == (
+                tmp_path / "par" / name
+            ).read_bytes()
+
+
 class TestCampaignCli:
     def test_cli_campaign_small(self, tmp_path, capsys, monkeypatch):
         import repro.cli as cli
@@ -70,3 +112,49 @@ class TestCampaignCli:
         rc = cli.main(["campaign", "--out", str(tmp_path / "r")])
         assert rc == 0
         assert (tmp_path / "r" / "REPORT.md").exists()
+
+    def test_cli_campaign_jobs_and_shrink_knobs(self, tmp_path, monkeypatch):
+        seen = {}
+
+        def spy_campaign(out, **kwargs):
+            seen.update(kwargs, out=out)
+
+        monkeypatch.setattr(
+            "repro.experiments.campaign.run_campaign", spy_campaign
+        )
+        import repro.cli as cli
+
+        rc = cli.main([
+            "campaign", "--out", str(tmp_path / "r"), "--jobs", "2",
+            "--client-routers", "15", "25", "--loss-probs", "0.05",
+            "--loss-routers", "20", "--seeds", "1", "2",
+        ])
+        assert rc == 0
+        assert seen["jobs"] == 2
+        assert seen["client_routers"] == (15, 25)
+        assert seen["loss_probs"] == (0.05,)
+        assert seen["loss_routers"] == 20
+        assert seen["seeds"] == (1, 2)
+
+    def test_cli_figure_jobs_flag(self, capsys):
+        import repro.cli as cli
+
+        seen = {}
+
+        def spy_sweep(**kwargs):
+            seen.update(kwargs)
+            from repro.experiments.figures import run_client_sweep
+
+            kwargs.pop("progress", None)
+            return run_client_sweep(
+                num_routers=(15,), num_packets=4, seeds=(1,)
+            )
+
+        original = cli.run_client_sweep
+        cli.run_client_sweep = spy_sweep
+        try:
+            rc = cli.main(["figure", "5", "--packets", "4", "--jobs", "2"])
+        finally:
+            cli.run_client_sweep = original
+        assert rc == 0
+        assert seen["jobs"] == 2

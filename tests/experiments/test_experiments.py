@@ -88,6 +88,23 @@ class TestSweeps:
         point = sweep.points[0]
         assert len(point.runs["RP"]) == 2
 
+    def test_empty_seeds_rejected_up_front(self):
+        with pytest.raises(ValueError, match="seeds"):
+            run_client_sweep(num_routers=(15,), num_packets=5, seeds=())
+        with pytest.raises(ValueError, match="seeds"):
+            run_loss_sweep(
+                loss_probs=(0.05,), num_routers=15, num_packets=5, seeds=()
+            )
+
+    def test_duplicate_factory_names_rejected(self):
+        from repro.protocols.srm import SRMProtocolFactory
+
+        with pytest.raises(ValueError, match="duplicate"):
+            run_client_sweep(
+                num_routers=(15,), num_packets=5, seeds=(1,),
+                factories=[SRMProtocolFactory(), SRMProtocolFactory()],
+            )
+
 
 class TestReport:
     def test_improvement_pct(self):
@@ -118,6 +135,19 @@ class TestReport:
 
 
 class TestRunProtocols:
+    def test_duplicate_names_raise_instead_of_overwriting(self):
+        from repro.protocols.srm import SRMConfig, SRMProtocolFactory
+
+        config = ScenarioConfig(
+            seed=9, num_routers=20, loss_prob=0.05, num_packets=5
+        )
+        factories = [
+            SRMProtocolFactory(),
+            SRMProtocolFactory(SRMConfig(c1=1.0)),
+        ]
+        with pytest.raises(ValueError, match="duplicate.*SRM"):
+            run_protocols(config, factories)
+
     def test_shared_topology_across_protocols(self):
         config = ScenarioConfig(
             seed=9, num_routers=20, loss_prob=0.05, num_packets=5
