@@ -1,0 +1,240 @@
+"""Cross-run memoization of RP prioritized lists.
+
+The planner's output for one client depends only on the multicast tree,
+the expected link delays (through the routing-table RTTs), the timeout
+policy, the attempt-cost estimator and the strategy restrictions — it
+does **not** depend on the per-link loss probability ``p``.  A
+loss-probability sweep (Figures 7–8) therefore re-plans the *identical*
+prioritized lists at every sweep point; with ten points and a handful of
+seeds that is 90% pure waste.  This module caches ``plan_all`` results
+behind a value-based fingerprint so each distinct planning problem is
+solved once per process, whether the sweep runs sequentially in-process
+or fanned out over the PR 2 worker pool (each worker holds its own
+cache and warms it on its first unit of a topology).
+
+Correctness discipline:
+
+* The **fingerprint** hashes everything planning reads: tree root,
+  parent map, client set, node count and every topology link's
+  ``(u, v, delay)`` — loss probabilities are deliberately excluded
+  (planning never reads them).  Policy/estimator/restriction knobs are
+  keyed by value for the stock classes and by instance identity for
+  unknown subclasses, so an unrecognised policy can cause a redundant
+  miss but never a wrong hit.
+* The structural part of the fingerprint is cached on the tree object;
+  like :class:`~repro.net.routing.RoutingTable`, the cache assumes the
+  tree/topology are not mutated after planning first touches them.
+* Cached strategies are frozen dataclasses shared by reference;
+  :func:`plans_for` returns a fresh dict so callers may reshape the
+  mapping freely.
+* A cached sweep is **bit-identical** to an uncached one (planning is
+  deterministic), enforced by the equivalence tests and the CI hot-path
+  smoke.  Set ``REPRO_PLAN_CACHE=0`` to disable the process-global
+  cache, e.g. for A/B timing.
+
+Observability: hits/misses are counted on the cache itself
+(:meth:`PlanCache.stats`) and, when the caller passes the run's
+:class:`~repro.obs.metrics.MetricsRegistry`, mirrored to the
+``plan.cache.hits`` / ``plan.cache.misses`` counters.  Fingerprinting +
+lookup time lands in the ``plan.cache`` profiler scope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.core.objective import (
+    BlendEstimator,
+    RttOnlyEstimator,
+    TimeoutOnlyEstimator,
+)
+from repro.core.strategy_graph import StrategyRestrictions
+from repro.core.timeouts import FixedTimeout, ProportionalTimeout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.planner import RecoveryStrategy, RPPlanner
+    from repro.net.mcast_tree import MulticastTree
+    from repro.obs.metrics import MetricsRegistry
+
+#: Distinct planning problems kept per cache (LRU beyond this).  Each
+#: entry holds one strategy dict for every client of one topology; 8
+#: covers the scenario-cache width of a parallel worker with room for
+#: interleaved sequential sweeps.
+DEFAULT_CAPACITY = 8
+
+#: Attribute used to memoize the structural fingerprint on a tree.
+_TREE_FP_ATTR = "_plan_cache_scenario_fp"
+
+
+def scenario_fingerprint(tree: "MulticastTree") -> str:
+    """Value-based digest of everything planning reads from the network.
+
+    Covers the tree structure (root + parent map), the client set, and
+    every topology link's endpoints and expected delay (RTTs and thus
+    timeouts derive from those).  Loss probabilities are excluded on
+    purpose: the planner never reads them, which is exactly what lets a
+    loss-probability sweep share one plan.  Memoized on the tree object —
+    do not mutate a tree/topology after planning has seen it.
+    """
+    cached = getattr(tree, _TREE_FP_ATTR, None)
+    if cached is not None:
+        return cached
+    topo = tree.topology
+    payload = (
+        tree.root,
+        tuple((node, tree.parent(node)) for node in tree.members),
+        tuple(tree.clients),
+        topo.num_nodes,
+        tuple((link.u, link.v, link.delay) for link in topo.links),
+    )
+    digest = hashlib.sha256(repr(payload).encode()).hexdigest()
+    setattr(tree, _TREE_FP_ATTR, digest)
+    return digest
+
+
+def _component_key(obj: object) -> tuple:
+    """Value key for a policy/estimator; identity for unknown types.
+
+    Keying an unrecognised subclass by instance identity trades cache
+    hits for safety: two differently parameterised instances can never
+    collide on a stale plan.
+    """
+    if obj is None:
+        return ("none",)
+    # Exact type checks on purpose: a subclass may override behaviour
+    # while exposing the same parameters, so it must not share entries
+    # with the stock class (or with its own other instances).
+    if type(obj) is ProportionalTimeout:
+        return ("ProportionalTimeout", obj.factor, obj.slack)
+    if type(obj) is FixedTimeout:
+        return ("FixedTimeout", obj.t0)
+    if type(obj) in (BlendEstimator, RttOnlyEstimator, TimeoutOnlyEstimator):
+        return (type(obj).__name__,)
+    # The instance itself, not id(obj): the key's strong reference pins
+    # the object so a freed instance's address can never be reused for a
+    # false hit.
+    return (type(obj).__name__, obj)
+
+
+def _restrictions_key(restrictions: StrategyRestrictions) -> tuple:
+    return (
+        restrictions.forbid_direct_source,
+        tuple(sorted(restrictions.forbidden_peers)),
+        restrictions.max_list_length,
+    )
+
+
+class PlanCache:
+    """LRU of ``fingerprint → {client: RecoveryStrategy}``."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, dict[int, RecoveryStrategy]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(self, planner: "RPPlanner") -> tuple:
+        """The planner's full cache key (scenario + knob components)."""
+        return (
+            scenario_fingerprint(planner.tree),
+            _component_key(planner.timeout_policy),
+            _component_key(planner.estimator),
+            _restrictions_key(planner.restrictions),
+        )
+
+    def plans_for(
+        self,
+        planner: "RPPlanner",
+        metrics: "MetricsRegistry | None" = None,
+    ) -> "dict[int, RecoveryStrategy]":
+        """Strategies for every client of the planner's tree, cached.
+
+        A hit returns the memoized strategies (frozen, shared by
+        reference) in a fresh dict; a miss delegates to
+        :meth:`~repro.core.planner.RPPlanner.plan_all` and stores the
+        result.  With the cache disabled this is a plain ``plan_all``
+        pass-through — same outputs, no bookkeeping.
+        """
+        if not self.enabled:
+            return planner.plan_all()
+        profiler = planner.profiler
+        if profiler is not None and profiler.enabled:
+            with profiler.scope("plan.cache"):
+                key = self.key_for(planner)
+                entry = self._entries.get(key)
+        else:
+            key = self.key_for(planner)
+            entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            if metrics is not None:
+                metrics.counter("plan.cache.misses").inc()
+            entry = planner.plan_all()
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        else:
+            self.hits += 1
+            if metrics is not None:
+                metrics.counter("plan.cache.hits").inc()
+            self._entries.move_to_end(key)
+        return dict(entry)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, float]:
+        """JSON-ready counters: hits, misses, entries, hit_rate."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+
+#: The process-global cache the RP protocol factory plans through.  One
+#: per process means parallel sweep workers each warm their own copy —
+#: no cross-process coordination, no shared mutable state.
+GLOBAL_PLAN_CACHE = PlanCache(
+    enabled=os.environ.get("REPRO_PLAN_CACHE", "1") != "0"
+)
+
+
+def plans_for(
+    planner: "RPPlanner", metrics: "MetricsRegistry | None" = None
+) -> "dict[int, RecoveryStrategy]":
+    """Plan through the process-global cache (module-level convenience)."""
+    return GLOBAL_PLAN_CACHE.plans_for(planner, metrics=metrics)
+
+
+def configure(
+    enabled: bool | None = None, capacity: int | None = None
+) -> None:
+    """Reconfigure the global cache (tests, benches, CLI switches)."""
+    if enabled is not None:
+        GLOBAL_PLAN_CACHE.enabled = enabled
+    if capacity is not None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        GLOBAL_PLAN_CACHE.capacity = capacity
+
+
+def clear() -> None:
+    """Empty the global cache and reset its counters."""
+    GLOBAL_PLAN_CACHE.clear()

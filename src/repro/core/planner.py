@@ -134,6 +134,18 @@ class RPPlanner:
     def timeout_policy(self) -> TimeoutPolicy:
         return self._timeout_policy
 
+    @property
+    def estimator(self) -> AttemptCostEstimator:
+        return self._estimator
+
+    @property
+    def restrictions(self) -> StrategyRestrictions:
+        return self._restrictions
+
+    @property
+    def profiler(self) -> "Profiler | None":
+        return self._profiler
+
     def candidates_for(self, client: int) -> list[Candidate]:
         """Candidate clients for ``client`` in decreasing-``DS`` order."""
         return candidate_clients(self._tree, self._routing, client)

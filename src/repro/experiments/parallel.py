@@ -97,6 +97,13 @@ def _cached_scenario(config: ScenarioConfig) -> BuiltScenario:
     topology, tree and routing depend on.  Stream knobs (packet count,
     drain time, ...) are *not* part of the key, so a hit swaps the
     cached network under the unit's own config.
+
+    The key *does* include ``loss_prob`` (it shapes the topology's
+    links), so a loss sweep rebuilds the scenario per point; the RP
+    prioritized lists, however, come from the process-global
+    :mod:`repro.core.plan_cache`, whose value-based fingerprint excludes
+    loss probabilities — each worker plans a topology once and reuses
+    the lists across every loss point it is handed.
     """
     key = (config.seed, config.topology_config())
     cached = _scenario_cache.get(key)

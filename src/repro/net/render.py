@@ -64,7 +64,7 @@ def render_tree(
         lines.append(prefix + connector + label(node))
         children = tree.children(node)
         if max_depth is not None and depth >= max_depth and children:
-            hidden += len(tree.subtree_nodes(node)) - 1
+            hidden += tree.subtree_link_count(node)
             lines.append(prefix + ("    " if is_last else "|   ") + "...")
             return
         child_prefix = prefix + ("    " if is_last else "|   ")

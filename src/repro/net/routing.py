@@ -96,6 +96,17 @@ class RoutingTable:
         """
         return 2.0 * self.delay(u, v)
 
+    def distances_from(self, source: int) -> list[float]:
+        """One-way delays from ``source`` to every node (inf when
+        unreachable), indexed by node id.
+
+        This is the cached Dijkstra row itself — treat it as read-only.
+        Batch callers (the candidate builder evaluates every peer of one
+        client) index it directly instead of paying the per-pair
+        ``delay``/``rtt`` call chain.
+        """
+        return self._shortest_path_tree(source)[0]
+
     def reachable(self, u: int, v: int) -> bool:
         return math.isfinite(self.delay(u, v))
 

@@ -41,7 +41,7 @@ SOURCE_RANK = -1
 ATTEMPT_STATUSES = ("started", "succeeded", "timed_out", "nacked", "retracted")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObsEvent:
     """Base telemetry record: a tagged, timestamped dataclass."""
 
@@ -55,7 +55,7 @@ class ObsEvent:
         return out
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttemptEvent(ObsEvent):
     """One state change of one recovery attempt.
 
@@ -79,7 +79,7 @@ class AttemptEvent(ObsEvent):
     elapsed: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimerEvent(ObsEvent):
     """A protocol timer armed / fired / cancelled."""
 
@@ -92,7 +92,7 @@ class TimerEvent(ObsEvent):
     deadline: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BackoffEvent(ObsEvent):
     """A backoff increment (SRM request suppression / congestion)."""
 
@@ -104,7 +104,7 @@ class BackoffEvent(ObsEvent):
     backoff: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PhaseEvent(ObsEvent):
     """A session lifecycle transition."""
 

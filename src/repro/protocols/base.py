@@ -196,7 +196,7 @@ class RepairDeduper:
             base = self._tree.delay_from_root(root)
             span = max(
                 self._tree.delay_from_root(n) - base
-                for n in self._tree.subtree_nodes(root)
+                for n in self._tree.iter_subtree(root)
             )
             self._span_cache[root] = span
         return span

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core import plan_cache
 from repro.core.planner import RecoveryStrategy, RPPlanner
 from repro.core.objective import AttemptCostEstimator
 from repro.core.strategy_graph import StrategyRestrictions
@@ -355,10 +356,19 @@ class RPProtocolFactory(ProtocolFactory):
                 instrumentation.profiler if instrumentation is not None else None
             ),
         )
-        self.last_strategies = {}
-        for client in network.tree.clients:
-            strategy = planner.plan(client)
-            self.last_strategies[client] = strategy
+        # Planning is a pure function of (tree, RTTs, timeout, estimator,
+        # restrictions) — notably not of link loss probabilities — so a
+        # loss-probability sweep hits the process-global plan cache on
+        # every point after the first (see repro.core.plan_cache).
+        self.last_strategies = plan_cache.plans_for(
+            planner,
+            metrics=(
+                instrumentation.registry
+                if instrumentation is not None and instrumentation.enabled
+                else None
+            ),
+        )
+        for client, strategy in self.last_strategies.items():
             agent = RPClientAgent(
                 client,
                 network,

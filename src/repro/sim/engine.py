@@ -13,6 +13,16 @@ reproducible network simulation and are guaranteed here:
   heap entry is discarded when popped.  Protocol code cancels far more
   timers than it lets expire (every suppressed SRM request, every
   repaired RP timeout), so cancellation must be cheap.
+
+Lazy cancellation alone lets the heap fill with corpses under heavy
+cancel/rearm workloads (SRM's suppression timers are the worst case:
+almost every scheduled request is cancelled and rescheduled).  The
+queue therefore counts its cancelled-but-unpopped timers and, when the
+dead fraction crosses :data:`COMPACT_MIN_DEAD` /
+:data:`COMPACT_DEAD_FRACTION`, rebuilds the heap without them in one
+O(live) filter + heapify.  Compaction cannot change replay order:
+``Timer.__lt__`` totally orders live timers by ``(time, seq)``, and
+heapify preserves exactly that pop order.
 """
 
 from __future__ import annotations
@@ -24,21 +34,39 @@ from typing import TYPE_CHECKING, Any, Callable
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.profiler import Profiler
 
+#: Compaction never triggers below this many dead timers — tiny runs
+#: keep the zero-bookkeeping fast path.
+COMPACT_MIN_DEAD = 64
+
+#: ... and beyond that, only once dead timers are at least this fraction
+#: of the heap (1/2 keeps amortized compaction cost O(1) per cancel).
+COMPACT_DEAD_FRACTION = 0.5
+
 
 class Timer:
     """Handle for a scheduled event; supports cancellation."""
 
-    __slots__ = ("time", "callback", "cancelled", "seq")
+    __slots__ = ("time", "callback", "cancelled", "seq", "_queue")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], Any]):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        # Owning queue while the timer sits in its heap; cleared on pop
+        # or compaction so late/duplicate cancels don't skew the queue's
+        # dead count.
+        self._queue: "EventQueue | None" = None
 
     def cancel(self) -> None:
         """Prevent the callback from running; idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -56,6 +84,10 @@ class EventQueue:
         self._heap: list[Timer] = []
         self._seq = 0
         self._processed = 0
+        # Cancelled timers still sitting in the heap; drives compaction
+        # and makes `pending` O(1).
+        self._cancelled = 0
+        self._compactions = 0
         # Optional wall-clock profiling of the dispatch loop; one scope
         # per run() call (not per event), so an attached-but-disabled
         # profiler costs nothing on the hot path.
@@ -69,7 +101,17 @@ class EventQueue:
     @property
     def pending(self) -> int:
         """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for t in self._heap if not t.cancelled)
+        return len(self._heap) - self._cancelled
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled timers still occupying heap slots (dead weight)."""
+        return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap was rebuilt to shed cancelled timers."""
+        return self._compactions
 
     @property
     def processed(self) -> int:
@@ -89,16 +131,47 @@ class EventQueue:
                 f"cannot schedule at {time}, current time is {self._now}"
             )
         timer = Timer(time, self._seq, callback)
+        timer._queue = self
         self._seq += 1
         heapq.heappush(self._heap, timer)
         return timer
+
+    def _note_cancelled(self) -> None:
+        """A timer in the heap was cancelled; compact when mostly dead."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= COMPACT_MIN_DEAD
+            and self._cancelled >= COMPACT_DEAD_FRACTION * len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled timers (order-preserving)."""
+        profiler = self.profiler
+        if profiler is not None and profiler.enabled:
+            t0 = time.perf_counter()
+            removed = self._cancelled
+            self._compact_inner()
+            profiler.add(
+                "engine.compact", time.perf_counter() - t0, count=removed
+            )
+            return
+        self._compact_inner()
+
+    def _compact_inner(self) -> None:
+        self._heap = [t for t in self._heap if not t.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
 
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
         while self._heap:
             timer = heapq.heappop(self._heap)
             if timer.cancelled:
+                self._cancelled -= 1
                 continue
+            timer._queue = None
             self._now = timer.time
             self._processed += 1
             timer.callback()
@@ -151,6 +224,7 @@ class EventQueue:
             # Peek past cancelled entries.
             while self._heap and self._heap[0].cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled -= 1
             if not self._heap:
                 break
             if until is not None and self._heap[0].time > until:
@@ -165,5 +239,10 @@ class EventQueue:
                 )
             if stop_when is not None and stop_when():
                 return
+        # Fully drained: every cancelled timer must have been popped or
+        # compacted away, or the dead count has drifted (a bug).
+        assert self._cancelled == 0, (
+            f"cancelled-timer count drifted: {self._cancelled} with empty heap"
+        )
         if until is not None and until > self._now:
             self._now = until

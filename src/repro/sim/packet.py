@@ -41,7 +41,7 @@ class PacketKind(enum.Enum):
     SESSION = "session"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Packet:
     kind: PacketKind
     seq: int

@@ -152,3 +152,28 @@ class TestCandidateClients:
                 previous = c.ds
                 assert c.node != client
                 assert c.rtt >= 0
+
+
+class TestVectorizedEquivalence:
+    """The default (vectorized) candidate path must match the scalar
+    explicit-peers path exactly — nodes, DS, RTT floats, and order."""
+
+    def test_matches_scalar_path_on_random_trees(self):
+        import numpy as np
+
+        from repro.net.generators import TopologyConfig, random_backbone
+        from repro.net.mcast_tree import random_multicast_tree
+        from repro.net.routing import RoutingTable
+
+        for seed in range(12):
+            topo = random_backbone(
+                TopologyConfig(num_routers=30), np.random.default_rng(seed)
+            )
+            tree = random_multicast_tree(topo, np.random.default_rng(seed + 1))
+            routing = RoutingTable(topo)
+            for client in tree.clients:
+                fast = candidate_clients(tree, routing, client)
+                scalar = candidate_clients(
+                    tree, routing, client, peers=tree.clients
+                )
+                assert fast == scalar

@@ -1,0 +1,195 @@
+"""Plan cache: fingerprint sensitivity, counters, LRU, and the
+end-to-end guarantee that a cached run is indistinguishable from an
+uncached one (plans, latencies, telemetry)."""
+
+import numpy as np
+import pytest
+
+from repro.core import plan_cache
+from repro.core.objective import RttOnlyEstimator
+from repro.core.plan_cache import PlanCache, scenario_fingerprint
+from repro.core.planner import RPPlanner
+from repro.core.strategy_graph import StrategyRestrictions
+from repro.core.timeouts import FixedTimeout, ProportionalTimeout
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_scenario, run_protocol_detailed
+from repro.net.generators import TopologyConfig, random_backbone
+from repro.net.mcast_tree import random_multicast_tree
+from repro.net.routing import RoutingTable
+from repro.obs.instrumentation import Instrumentation
+from repro.obs.metrics import MetricsRegistry
+from repro.protocols.rp import RPProtocolFactory
+
+
+@pytest.fixture(autouse=True)
+def isolated_global_cache():
+    """Each test starts (and leaves) the process-global cache empty."""
+    plan_cache.clear()
+    enabled = plan_cache.GLOBAL_PLAN_CACHE.enabled
+    yield
+    plan_cache.GLOBAL_PLAN_CACHE.enabled = enabled
+    plan_cache.clear()
+
+
+def make_planner(seed=7, routers=12, loss_prob=0.0, **kwargs):
+    topo = random_backbone(
+        TopologyConfig(num_routers=routers, loss_prob=loss_prob),
+        np.random.default_rng(seed),
+    )
+    tree = random_multicast_tree(topo, np.random.default_rng(seed + 10_000))
+    return RPPlanner(tree, RoutingTable(topo), **kwargs)
+
+
+class TestFingerprint:
+    def test_same_seed_same_fingerprint(self):
+        a = make_planner(seed=3)
+        b = make_planner(seed=3)
+        assert scenario_fingerprint(a.tree) == scenario_fingerprint(b.tree)
+
+    def test_different_seed_different_fingerprint(self):
+        a = make_planner(seed=3)
+        b = make_planner(seed=4)
+        assert scenario_fingerprint(a.tree) != scenario_fingerprint(b.tree)
+
+    def test_loss_prob_does_not_change_fingerprint(self):
+        # The whole point: a loss sweep shares one planning problem.
+        a = make_planner(seed=3, loss_prob=0.0)
+        b = make_planner(seed=3, loss_prob=0.15)
+        assert scenario_fingerprint(a.tree) == scenario_fingerprint(b.tree)
+
+    def test_fingerprint_memoized_on_tree(self):
+        planner = make_planner()
+        fp = scenario_fingerprint(planner.tree)
+        assert scenario_fingerprint(planner.tree) is fp
+
+
+class TestCacheKeys:
+    def test_policy_value_equality_hits(self):
+        cache = PlanCache()
+        a = make_planner(timeout_policy=ProportionalTimeout())
+        b = make_planner(timeout_policy=ProportionalTimeout())
+        cache.plans_for(a)
+        cache.plans_for(b)
+        assert cache.stats()["hits"] == 1
+
+    def test_different_policy_values_miss(self):
+        cache = PlanCache()
+        cache.plans_for(make_planner(timeout_policy=FixedTimeout(5.0)))
+        cache.plans_for(make_planner(timeout_policy=FixedTimeout(9.0)))
+        assert cache.stats() == {
+            "hits": 0, "misses": 2, "entries": 2, "hit_rate": 0.0,
+        }
+
+    def test_estimator_and_restrictions_key(self):
+        cache = PlanCache()
+        cache.plans_for(make_planner())
+        cache.plans_for(make_planner(estimator=RttOnlyEstimator()))
+        cache.plans_for(
+            make_planner(restrictions=StrategyRestrictions(max_list_length=1))
+        )
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_unknown_policy_subclass_never_false_hits(self):
+        class WeirdTimeout(FixedTimeout):
+            pass
+
+        cache = PlanCache()
+        cache.plans_for(make_planner(timeout_policy=WeirdTimeout(5.0)))
+        cache.plans_for(make_planner(timeout_policy=WeirdTimeout(5.0)))
+        # Identity-keyed: two instances may not share an entry.
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        p1, p2, p3 = (make_planner(seed=s) for s in (1, 2, 3))
+        cache.plans_for(p1)
+        cache.plans_for(p2)
+        cache.plans_for(p3)  # evicts p1
+        assert len(cache) == 2
+        cache.plans_for(p1)
+        assert cache.misses == 4 and cache.hits == 0
+
+
+class TestPlansFor:
+    def test_hit_returns_equal_plans_in_fresh_dict(self):
+        cache = PlanCache()
+        planner = make_planner()
+        first = cache.plans_for(planner)
+        second = cache.plans_for(planner)
+        assert first == second == planner.plan_all()
+        assert first is not second  # callers may mutate their mapping
+
+    def test_disabled_cache_is_passthrough(self):
+        cache = PlanCache(enabled=False)
+        planner = make_planner()
+        assert cache.plans_for(planner) == planner.plan_all()
+        assert len(cache) == 0
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "entries": 0, "hit_rate": 0.0,
+        }
+
+    def test_metrics_counters(self):
+        cache = PlanCache()
+        registry = MetricsRegistry()
+        planner = make_planner()
+        cache.plans_for(planner, metrics=registry)
+        cache.plans_for(planner, metrics=registry)
+        cache.plans_for(planner, metrics=registry)
+        assert registry.counter("plan.cache.misses").value == 1
+        assert registry.counter("plan.cache.hits").value == 2
+
+    def test_clear_resets(self):
+        cache = PlanCache()
+        cache.plans_for(make_planner())
+        cache.clear()
+        assert len(cache) == 0 and cache.stats()["misses"] == 0
+
+
+class TestEndToEndEquivalence:
+    """A cached run must reproduce an uncached one bit for bit."""
+
+    CONFIG = ScenarioConfig(
+        seed=11, num_routers=14, loss_prob=0.1, num_packets=8,
+        drain_time=50.0,
+    )
+
+    def _run(self):
+        built = build_scenario(self.CONFIG)
+        instr = Instrumentation.recording(profile=False)
+        artifacts = run_protocol_detailed(built, RPProtocolFactory(), instr)
+        events = instr.bus.sinks[0].events()
+        return artifacts, [e.to_dict() for e in events]
+
+    def test_cache_on_vs_off_identical(self):
+        plan_cache.GLOBAL_PLAN_CACHE.enabled = False
+        cold_art, cold_events = self._run()
+        plan_cache.GLOBAL_PLAN_CACHE.enabled = True
+        plan_cache.clear()
+        miss_art, miss_events = self._run()  # populates the cache
+        hit_art, hit_events = self._run()  # replans from the cache
+        assert plan_cache.GLOBAL_PLAN_CACHE.hits >= 1
+        assert cold_art.summary == miss_art.summary == hit_art.summary
+        assert cold_events == miss_events == hit_events
+
+    def test_factory_strategies_identical_across_cache_paths(self):
+        built = build_scenario(self.CONFIG)
+        factory = RPProtocolFactory()
+        plan_cache.GLOBAL_PLAN_CACHE.enabled = False
+        run_protocol_detailed(built, factory)
+        uncached = factory.last_strategies
+        plan_cache.GLOBAL_PLAN_CACHE.enabled = True
+        run_protocol_detailed(built, factory)
+        run_protocol_detailed(built, factory)
+        assert factory.last_strategies == uncached
+        assert list(factory.last_strategies) == list(uncached)
+
+    def test_loss_sweep_hits_cache_per_topology(self):
+        # Same seed, different loss probs: one planning miss, then hits.
+        for loss in (0.0, 0.05, 0.1, 0.15):
+            config = ScenarioConfig(
+                seed=21, num_routers=12, loss_prob=loss, num_packets=5,
+                drain_time=50.0,
+            )
+            run_protocol_detailed(build_scenario(config), RPProtocolFactory())
+        assert plan_cache.GLOBAL_PLAN_CACHE.misses == 1
+        assert plan_cache.GLOBAL_PLAN_CACHE.hits == 3

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.engine import EventQueue
+from repro.sim.engine import COMPACT_MIN_DEAD, EventQueue
 
 
 class TestScheduling:
@@ -155,3 +155,78 @@ class TestRunControls:
         q.run()
         assert times == sorted(times)
         assert len(times) == len(delays)
+
+
+class TestCompaction:
+    """Lazy cancelled-timer compaction: the heap must stay bounded under
+    heavy cancel/rearm workloads (SRM suppression, RP repair races)."""
+
+    def test_cancelled_pending_counter(self):
+        q = EventQueue()
+        timers = [q.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for t in timers[:4]:
+            t.cancel()
+        assert q.cancelled_pending == 4
+        assert q.pending == 6
+
+    def test_pending_is_consistent_after_compaction(self):
+        q = EventQueue()
+        live = [q.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        dead = [q.schedule(float(i + 1), lambda: None) for i in range(500)]
+        for t in dead:
+            t.cancel()
+        assert q.compactions >= 1
+        # Residual dead weight stays below the compaction floor.
+        assert q.cancelled_pending < COMPACT_MIN_DEAD
+        assert q.pending == len(live)
+
+    def test_heap_bounded_under_cancel_rearm(self):
+        # The regression: before compaction, N cancel/rearm cycles left
+        # N dead timers in the heap. Now the heap stays O(live).
+        q = EventQueue()
+        timer = q.schedule(1.0, lambda: None)
+        for i in range(10_000):
+            timer.cancel()
+            timer = q.schedule(float(i + 2), lambda: None)
+        assert len(q._heap) < 200
+        assert q.pending == 1
+
+    def test_compaction_preserves_replay_order(self):
+        fired_plain = []
+        q1 = EventQueue()
+        for i in range(300):
+            q1.schedule(float(i % 7), lambda i=i: fired_plain.append(i))
+        q1.run()
+
+        fired_churn = []
+        q2 = EventQueue()
+        # Same schedule, but interleave enough cancelled timers to force
+        # at least one compaction before anything fires.
+        doomed = [q2.schedule(50.0 + i, lambda: None) for i in range(400)]
+        for i in range(300):
+            q2.schedule(float(i % 7), lambda i=i: fired_churn.append(i))
+        for t in doomed:
+            t.cancel()
+        assert q2.compactions >= 1
+        q2.run()
+        assert fired_churn == fired_plain
+
+    def test_cancel_after_fire_does_not_skew_count(self):
+        q = EventQueue()
+        t = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        q.run()
+        t.cancel()  # late cancel of an already-fired timer
+        assert q.cancelled_pending == 0
+        assert q.pending == 0
+
+    def test_drain_leaves_no_dead_weight(self):
+        q = EventQueue()
+        for i in range(100):
+            t = q.schedule(float(i + 1), lambda: None)
+            if i % 2:
+                t.cancel()
+        q.run()
+        assert q.cancelled_pending == 0
+        assert len(q._heap) == 0
+        assert q.processed == 50
