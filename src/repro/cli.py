@@ -16,6 +16,11 @@ Subcommands cover the common workflows without writing Python:
 ``python -m repro campaign``
     The full figure-reproduction campaign (``--telemetry`` adds
     per-protocol attempt telemetry next to the sweeps).
+``python -m repro chaos``
+    Fault-injection sweep: all five protocols in their hardened
+    configurations against escalating fault intensity (peer crashes,
+    burst loss, link downs, recovery black-holing).  Exits non-zero if
+    any recovery neither completed nor abandoned (a liveness violation).
 """
 
 from __future__ import annotations
@@ -323,7 +328,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the Figures 7-8 backbone size (paper: 500)",
     )
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: hardened recovery vs fault intensity",
+    )
+    p_chaos.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p_chaos.add_argument(
+        "--intensity", type=float, nargs="+", default=None, metavar="I",
+        help="fault intensities in [0, 1] (default: 0.0 0.3 0.6)",
+    )
+    p_chaos.add_argument(
+        "--routers", type=int, default=60, help="backbone router count"
+    )
+    p_chaos.add_argument(
+        "--packets", type=int, default=20, help="data stream length"
+    )
+    p_chaos.add_argument(
+        "--loss", type=float, default=0.05, help="per-link loss probability"
+    )
+    p_chaos.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="save the sweep results as JSON",
+    )
+    p_chaos.add_argument(
+        "--load", metavar="PATH", default=None,
+        help="render a previously saved chaos sweep instead of simulating",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
     return parser
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import (
+        DEFAULT_INTENSITIES,
+        ChaosSweepResult,
+        run_chaos_sweep,
+    )
+
+    if args.load is not None:
+        sweep = ChaosSweepResult.load(args.load)
+    else:
+        intensities = (
+            tuple(args.intensity) if args.intensity is not None
+            else DEFAULT_INTENSITIES
+        )
+        sweep = run_chaos_sweep(
+            seeds=tuple(args.seeds),
+            intensities=intensities,
+            num_routers=args.routers,
+            num_packets=args.packets,
+            loss_prob=args.loss,
+            progress=print,
+        )
+    print(sweep.render())
+    if args.save is not None:
+        sweep.save(args.save)
+        print(f"\nsweep saved to {args.save}")
+    # The hardened-recovery gate: a faulted run may abandon, it must
+    # never silently hang a detected loss.
+    return 1 if sweep.total_violations else 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:

@@ -108,7 +108,7 @@ def _component_key(obj: object) -> tuple:
     # while exposing the same parameters, so it must not share entries
     # with the stock class (or with its own other instances).
     if type(obj) is ProportionalTimeout:
-        return ("ProportionalTimeout", obj.factor, obj.slack)
+        return ("ProportionalTimeout", obj.factor, obj.slack, obj.floor)
     if type(obj) is FixedTimeout:
         return ("FixedTimeout", obj.t0)
     if type(obj) in (BlendEstimator, RttOnlyEstimator, TimeoutOnlyEstimator):

@@ -49,20 +49,30 @@ class FixedTimeout(TimeoutPolicy):
 
 
 class ProportionalTimeout(TimeoutPolicy):
-    """``factor · rtt + slack`` — scales with the peer's distance.
+    """``max(floor, factor · rtt + slack)`` — scales with the peer's
+    distance.
 
     ``factor`` must be at least 1 so a successful reply always beats the
     timer; the default 1.5× plus a small slack absorbs the simulator's
-    processing granularity.
+    processing granularity.  ``floor`` guards the degenerate corner:
+    with ``slack=0`` a zero-RTT peer (a co-located agent, or a topology
+    with zero-delay links) would otherwise get a 0-length timeout, which
+    schedules the expiry *simultaneously* with the request — every such
+    attempt spuriously times out, and with retry-forever semantics the
+    same-timestamp timer/send pair can ratchet the event queue without
+    advancing simulated time.
     """
 
-    def __init__(self, factor: float = 1.5, slack: float = 1.0):
+    def __init__(self, factor: float = 1.5, slack: float = 1.0, floor: float = 1e-3):
         if factor < 1.0:
             raise ValueError(f"factor must be >= 1, got {factor}")
         if slack < 0.0:
             raise ValueError(f"slack must be >= 0, got {slack}")
+        if floor <= 0.0:
+            raise ValueError(f"floor must be positive, got {floor}")
         self._factor = factor
         self._slack = slack
+        self._floor = floor
 
     @property
     def factor(self) -> float:
@@ -72,8 +82,15 @@ class ProportionalTimeout(TimeoutPolicy):
     def slack(self) -> float:
         return self._slack
 
+    @property
+    def floor(self) -> float:
+        return self._floor
+
     def timeout(self, rtt: float) -> float:
-        return self._factor * rtt + self._slack
+        return max(self._floor, self._factor * rtt + self._slack)
 
     def __repr__(self) -> str:
-        return f"ProportionalTimeout(factor={self._factor!r}, slack={self._slack!r})"
+        return (
+            f"ProportionalTimeout(factor={self._factor!r}, "
+            f"slack={self._slack!r}, floor={self._floor!r})"
+        )

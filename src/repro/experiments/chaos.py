@@ -1,0 +1,367 @@
+"""The chaos sweep: fault intensity versus hardened recovery.
+
+The paper's figures compare the protocols inside the regime its analysis
+assumes — independent per-link loss, peers that always answer, a source
+that never disappears.  The chaos sweep measures what the *hardened*
+protocol configurations do when those assumptions are broken on purpose:
+for each fault intensity in the grid, every protocol runs on the same
+topology against a :func:`~repro.sim.faults.random_fault_schedule` of
+that intensity (identical crash/link-down windows per seed; independent
+stochastic draws per protocol, see the ``faults:<protocol>`` RNG lane).
+
+What comes out per (intensity, seed, protocol) cell:
+
+* the usual recovery metrics (losses detected/recovered, mean latency,
+  recovery hops) — latency *degrades* with intensity, it should not cliff;
+* the **abandonment rate** — the fraction of detected losses the bounded
+  retry policy explicitly gave up on.  Abandonment is the hardened
+  protocols' pressure valve: under the default (paper) policy the same
+  faults would hang recoveries forever;
+* the injector's per-kind fault counts, so a point's severity is
+  auditable;
+* the liveness-violation count, which the acceptance gate requires to be
+  **zero** everywhere: a faulted run may abandon, it must never silently
+  hang a detected loss (:class:`~repro.sim.faults.RecoveryLivenessChecker`).
+
+Intensity 0 draws the null schedule, so the leftmost column doubles as
+the fault-free baseline of the same build.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Sequence
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    BuiltScenario,
+    build_scenario,
+    ensure_unique_factories,
+    run_protocol_detailed,
+)
+from repro.protocols.base import ProtocolFactory
+from repro.protocols.naive import NaiveConfig, NearestPeerProtocolFactory
+from repro.protocols.policy import RecoveryPolicy
+from repro.protocols.rma import RMAConfig, RMAProtocolFactory
+from repro.protocols.rp import RPConfig, RPProtocolFactory
+from repro.protocols.source import SourceConfig, SourceProtocolFactory
+from repro.protocols.srm import SRMConfig, SRMProtocolFactory
+from repro.sim.faults import FaultSchedule, LivenessError, random_fault_schedule
+from repro.sim.rng import RngStreams
+
+#: Default fault-intensity grid: fault-free baseline, moderate, severe.
+DEFAULT_INTENSITIES: tuple[float, ...] = (0.0, 0.3, 0.6)
+
+#: SRM has no peer-retry policy (its requests flood); its bound is the
+#: request-round cap.  8 doubling rounds span a 256x timeout range —
+#: far beyond any transient window the default schedules produce.
+SRM_MAX_REQUEST_ROUNDS = 8
+
+
+def hardened_factories() -> list[ProtocolFactory]:
+    """All five protocols in their hardened configuration.
+
+    RP, RMA, SOURCE and NEAREST share :meth:`RecoveryPolicy.hardened`
+    (bounded peer retries with backoff, failure detector, bounded source
+    fallback); SRM's equivalent knob is the request-round cap.
+    """
+    policy = RecoveryPolicy.hardened()
+    return [
+        RPProtocolFactory(RPConfig(recovery_policy=policy)),
+        SRMProtocolFactory(SRMConfig(max_request_rounds=SRM_MAX_REQUEST_ROUNDS)),
+        RMAProtocolFactory(RMAConfig(recovery_policy=policy)),
+        SourceProtocolFactory(SourceConfig(recovery_policy=policy)),
+        NearestPeerProtocolFactory(NaiveConfig(recovery_policy=policy)),
+    ]
+
+
+def chaos_horizon(config: ScenarioConfig) -> float:
+    """The window-placement horizon for a scenario: the nominal stream
+    duration plus a session-flush margin.  Windows are placed (and end)
+    within it, well before the drain — finite faults are what keep chaos
+    runs terminating."""
+    return (
+        config.num_packets * config.data_interval + 2.0 * config.session_interval
+    )
+
+
+@dataclass(frozen=True)
+class ChaosRunRecord:
+    """One (protocol, seed, intensity) cell of the sweep."""
+
+    protocol: str
+    seed: int
+    intensity: float
+    losses_detected: int
+    losses_recovered: int
+    losses_abandoned: int
+    avg_latency: float | None
+    recovery_hops: int
+    #: Per-kind injection totals from the run's FaultInjector.
+    fault_counts: dict[str, int]
+    #: Detections that neither recovered nor abandoned (must be 0).
+    liveness_violations: int
+    sim_time: float
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.fault_counts.values())
+
+
+@dataclass
+class ChaosPoint:
+    """One intensity of the sweep: every protocol x seed record."""
+
+    intensity: float
+    records: list[ChaosRunRecord] = field(default_factory=list)
+
+    def _of(self, protocol: str) -> list[ChaosRunRecord]:
+        return [r for r in self.records if r.protocol == protocol]
+
+    def mean_latency(self, protocol: str) -> float | None:
+        values = [
+            r.avg_latency for r in self._of(protocol) if r.avg_latency is not None
+        ]
+        return sum(values) / len(values) if values else None
+
+    def abandonment_rate(self, protocol: str) -> float:
+        """Abandoned / detected across the protocol's seeds (0.0 when
+        nothing was detected)."""
+        records = self._of(protocol)
+        detected = sum(r.losses_detected for r in records)
+        if detected == 0:
+            return 0.0
+        return sum(r.losses_abandoned for r in records) / detected
+
+    def violations(self, protocol: str | None = None) -> int:
+        records = self.records if protocol is None else self._of(protocol)
+        return sum(r.liveness_violations for r in records)
+
+
+@dataclass
+class ChaosSweepResult:
+    """A completed chaos sweep, JSON round-trippable."""
+
+    seeds: list[int]
+    num_routers: int
+    num_packets: int
+    loss_prob: float
+    protocols: list[str]
+    points: list[ChaosPoint]
+
+    @property
+    def intensities(self) -> list[float]:
+        return [point.intensity for point in self.points]
+
+    @property
+    def total_violations(self) -> int:
+        """The acceptance gate: must be zero across the whole sweep."""
+        return sum(point.violations() for point in self.points)
+
+    def render(self) -> str:
+        rows = []
+        for point in self.points:
+            for protocol in self.protocols:
+                records = point._of(protocol)
+                detected = sum(r.losses_detected for r in records)
+                recovered = sum(r.losses_recovered for r in records)
+                abandoned = sum(r.losses_abandoned for r in records)
+                latency = point.mean_latency(protocol)
+                rows.append([
+                    f"{point.intensity:g}",
+                    protocol,
+                    str(detected),
+                    str(recovered),
+                    str(abandoned),
+                    f"{100.0 * point.abandonment_rate(protocol):.1f}",
+                    "n/a" if latency is None else f"{latency:.2f}",
+                    str(sum(r.total_faults for r in records)),
+                    str(point.violations(protocol)),
+                ])
+        table = format_table(
+            [
+                "intensity", "protocol", "detected", "recovered", "abandoned",
+                "abandon %", "latency ms", "faults", "violations",
+            ],
+            rows,
+        )
+        header = (
+            "Chaos sweep: fault intensity vs hardened recovery\n"
+            f"seeds={self.seeds} routers={self.num_routers}"
+            f" packets={self.num_packets} loss={self.loss_prob:g}\n"
+        )
+        footer = (
+            "\n\nliveness violations: "
+            f"{self.total_violations}"
+            + ("" if self.total_violations == 0 else "  <-- INVARIANT BROKEN")
+        )
+        return header + "\n" + table + footer
+
+    # -- persistence -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "chaos-sweep",
+            "seeds": list(self.seeds),
+            "num_routers": self.num_routers,
+            "num_packets": self.num_packets,
+            "loss_prob": self.loss_prob,
+            "protocols": list(self.protocols),
+            "points": [
+                {
+                    "intensity": point.intensity,
+                    "records": [asdict(record) for record in point.records],
+                }
+                for point in self.points
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSweepResult":
+        if data.get("kind") != "chaos-sweep":
+            raise ValueError(
+                f"not a chaos-sweep document (kind={data.get('kind')!r})"
+            )
+        points = [
+            ChaosPoint(
+                intensity=float(raw["intensity"]),
+                records=[ChaosRunRecord(**record) for record in raw["records"]],
+            )
+            for raw in data["points"]
+        ]
+        return cls(
+            seeds=[int(s) for s in data["seeds"]],
+            num_routers=int(data["num_routers"]),
+            num_packets=int(data["num_packets"]),
+            loss_prob=float(data["loss_prob"]),
+            protocols=list(data["protocols"]),
+            points=points,
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ChaosSweepResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _run_cell(
+    built: BuiltScenario,
+    factory: ProtocolFactory,
+    schedule: FaultSchedule,
+    seed: int,
+    intensity: float,
+) -> ChaosRunRecord:
+    try:
+        artifacts = run_protocol_detailed(built, factory, faults=schedule)
+    except LivenessError as err:
+        # A protocol that hangs a recovery is the finding the sweep
+        # exists to surface: record the violation, keep the sweep alive.
+        report = err.report
+        return ChaosRunRecord(
+            protocol=factory.name,
+            seed=seed,
+            intensity=intensity,
+            losses_detected=report.recovered + report.abandoned + report.violations,
+            losses_recovered=report.recovered,
+            losses_abandoned=report.abandoned,
+            avg_latency=None,
+            recovery_hops=0,
+            fault_counts={},
+            liveness_violations=report.violations,
+            sim_time=0.0,
+        )
+    summary = artifacts.summary
+    return ChaosRunRecord(
+        protocol=factory.name,
+        seed=seed,
+        intensity=intensity,
+        losses_detected=summary.losses_detected,
+        losses_recovered=summary.losses_recovered,
+        losses_abandoned=artifacts.log.num_abandoned,
+        avg_latency=summary.avg_latency,
+        recovery_hops=summary.recovery_hops,
+        fault_counts=(
+            dict(artifacts.faults.counts) if artifacts.faults is not None else {}
+        ),
+        liveness_violations=(
+            artifacts.liveness.violations if artifacts.liveness is not None else 0
+        ),
+        sim_time=summary.sim_time,
+    )
+
+
+def run_chaos_sweep(
+    seeds: Sequence[int] = (1,),
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    num_routers: int = 60,
+    num_packets: int = 20,
+    loss_prob: float = 0.05,
+    factories: list[ProtocolFactory] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ChaosSweepResult:
+    """Sweep fault intensity against the hardened protocol suite.
+
+    Per seed the topology is built once and shared by every (intensity,
+    protocol) cell — the comparison discipline of the figure sweeps.
+    Per (seed, intensity) the *schedule* is sampled once from its own
+    ``fault-schedule:<intensity>`` RNG lane, so all protocols face the
+    identical crash and link-down windows; the per-run injector then
+    draws its stochastic faults (bursts, black holes) from the
+    per-protocol fault lane.  Chaos runs always use the realistic loss
+    mode (``lossless_recovery=False``) — exempting recovery traffic
+    would hide exactly the faults being injected.
+
+    The source is excluded from the crash candidates: a crashed source
+    makes every fallback abandon, which measures the schedule rather
+    than the protocol.
+    """
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    if not intensities:
+        raise ValueError("intensities must be non-empty")
+    factories = factories if factories is not None else hardened_factories()
+    ensure_unique_factories(factories)
+    points = [ChaosPoint(intensity=float(i)) for i in intensities]
+    for seed in seeds:
+        config = ScenarioConfig(
+            seed=seed,
+            num_routers=num_routers,
+            loss_prob=loss_prob,
+            num_packets=num_packets,
+            lossless_recovery=False,
+        )
+        built = build_scenario(config)
+        horizon = chaos_horizon(config)
+        crash_candidates = [
+            client for client in built.tree.clients if client != built.tree.root
+        ]
+        for point in points:
+            schedule = random_fault_schedule(
+                point.intensity,
+                RngStreams(seed).get(f"fault-schedule:{point.intensity:g}"),
+                crash_candidates,
+                built.topology.links,
+                horizon,
+            )
+            for factory in factories:
+                if progress is not None:
+                    progress(
+                        f"chaos seed={seed} intensity={point.intensity:g}"
+                        f" {factory.name}"
+                    )
+                point.records.append(
+                    _run_cell(built, factory, schedule, seed, point.intensity)
+                )
+    return ChaosSweepResult(
+        seeds=[int(s) for s in seeds],
+        num_routers=num_routers,
+        num_packets=num_packets,
+        loss_prob=loss_prob,
+        protocols=[factory.name for factory in factories],
+        points=points,
+    )

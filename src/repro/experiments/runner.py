@@ -23,6 +23,12 @@ from repro.obs.report import ObsReport, build_obs_report
 from repro.protocols.base import CompletionTracker, ProtocolFactory, StreamDriver
 from repro.sim.congestion import LinearCongestionModel
 from repro.sim.engine import EventQueue
+from repro.sim.faults import (
+    FaultInjector,
+    FaultSchedule,
+    LivenessReport,
+    RecoveryLivenessChecker,
+)
 from repro.sim.network import SimNetwork
 from repro.sim.rng import RngStreams
 
@@ -62,19 +68,25 @@ class RunArtifacts:
 
     ``obs`` is the attempt-level telemetry report; ``None`` unless the
     run was given an :class:`~repro.obs.instrumentation.Instrumentation`
-    with at least one consuming sink.
+    with at least one consuming sink.  ``faults`` is the run's live
+    injector (``None`` for fault-free runs) — its ``counts`` carry the
+    per-kind injection totals; ``liveness`` is the drain-time
+    termination report, only produced for faulted runs.
     """
 
     summary: RunSummary
     log: RecoveryLog
     ledger: BandwidthLedger
     obs: ObsReport | None = None
+    faults: FaultInjector | None = None
+    liveness: LivenessReport | None = None
 
 
 def run_protocol(
     built: BuiltScenario,
     factory: ProtocolFactory,
     instrumentation: Instrumentation | None = None,
+    faults: FaultSchedule | None = None,
 ) -> RunSummary:
     """Run one protocol on a built scenario and summarize it.
 
@@ -83,13 +95,16 @@ def run_protocol(
     Raises ``RuntimeError`` if the event budget is exhausted before
     completion (a protocol liveness bug, not a measurement).
     """
-    return run_protocol_detailed(built, factory, instrumentation).summary
+    return run_protocol_detailed(
+        built, factory, instrumentation, faults=faults
+    ).summary
 
 
 def run_protocol_detailed(
     built: BuiltScenario,
     factory: ProtocolFactory,
     instrumentation: Instrumentation | None = None,
+    faults: FaultSchedule | None = None,
 ) -> RunArtifacts:
     """Like :func:`run_protocol` but also returns the raw collectors
     (per-loss timelines, per-kind hop counters).
@@ -99,6 +114,14 @@ def run_protocol_detailed(
     protocol agents its event bus and counters.  Instrumentation never
     touches the RNG streams or event ordering, so an instrumented run
     reproduces the uninstrumented one exactly.
+
+    ``faults`` injects a :class:`~repro.sim.faults.FaultSchedule` into
+    the network.  ``None`` *and* the null schedule construct no injector
+    and touch no extra RNG lane — fault-free runs are byte-identical to
+    runs of a build without the fault subsystem.  Faulted runs assert
+    the liveness invariant after the drain (every detected loss
+    recovered or explicitly abandoned) and carry the report plus the
+    injection counters in the returned artifacts.
     """
     config = built.config
     instr = instrumentation
@@ -109,6 +132,14 @@ def run_protocol_detailed(
     events = EventQueue(profiler=profiler)
     ledger = BandwidthLedger()
     log = RecoveryLog()
+    injector = None
+    if faults is not None and not faults.is_null:
+        # Own RNG lane: fault draws never perturb the loss/jitter
+        # streams, so two protocols on one seed face identical windows
+        # with independent stochastic fault draws.
+        injector = FaultInjector(
+            faults, streams.get(f"faults:{factory.name}"), instrumentation=instr
+        )
     network = SimNetwork(
         events,
         built.topology,
@@ -128,6 +159,7 @@ def run_protocol_detailed(
             else None
         ),
         profiler=profiler,
+        faults=injector,
     )
     clients = built.tree.clients
     tracker = CompletionTracker(len(clients), config.num_packets)
@@ -153,6 +185,11 @@ def run_protocol_detailed(
     events.run(until=events.now + config.drain_time, max_events=config.max_events)
     if instr is not None:
         instr.phase(events.now, "session.drained")
+    liveness = None
+    if injector is not None:
+        # The hardened-recovery invariant: a faulted run may abandon,
+        # but it must never silently hang a detected loss.
+        liveness = RecoveryLivenessChecker().assert_terminated(log, events)
 
     summary = summarize_run(
         protocol=factory.name,
@@ -170,7 +207,10 @@ def run_protocol_detailed(
             protocol=factory.name.lower(),
             strategies=getattr(factory, "last_strategies", None) or None,
         )
-    return RunArtifacts(summary=summary, log=log, ledger=ledger, obs=obs)
+    return RunArtifacts(
+        summary=summary, log=log, ledger=ledger, obs=obs,
+        faults=injector, liveness=liveness,
+    )
 
 
 def ensure_unique_factories(factories: list[ProtocolFactory]) -> None:

@@ -60,6 +60,7 @@ class BandwidthLedger:
 class _LossRecord:
     detected_at: float
     recovered_at: float | None = None
+    abandoned_at: float | None = None
 
 
 class RecoveryLog:
@@ -96,6 +97,29 @@ class RecoveryLog:
                 )
             record.recovered_at = time
 
+    def abandoned(self, client: int, seq: int, time: float) -> None:
+        """Record that the protocol gave up on ``(client, seq)``.
+
+        An explicit terminal state for hardened runtimes under faults:
+        the recovery ended, deliberately, without the packet.  Raises on
+        an already-recovered record (a recovered loss cannot be given
+        up); idempotent on repeats.  A repair that arrives *after*
+        abandonment is still recorded by :meth:`recovered` — the
+        abandonment timestamp is kept so liveness accounting can tell
+        "terminated by giving up" from "never terminated".
+        """
+        record = self._records.get((client, seq))
+        if record is None:
+            raise ValueError(
+                f"abandonment of ({client}, {seq}) without a detected loss"
+            )
+        if record.recovered_at is not None:
+            raise ValueError(
+                f"cannot abandon ({client}, {seq}): already recovered"
+            )
+        if record.abandoned_at is None:
+            record.abandoned_at = time
+
     def retract(self, client: int, seq: int) -> None:
         """Remove a not-yet-recovered detection that turned out to be
         false (the original packet was merely late, e.g. an RMA request
@@ -124,12 +148,40 @@ class RecoveryLog:
     def num_outstanding(self) -> int:
         return self.num_detected - self.num_recovered
 
+    @property
+    def num_abandoned(self) -> int:
+        """Losses explicitly given up and never subsequently repaired."""
+        return sum(
+            1
+            for r in self._records.values()
+            if r.abandoned_at is not None and r.recovered_at is None
+        )
+
     def outstanding(self) -> list[tuple[int, int]]:
         """(client, seq) pairs still unrepaired — should be empty at the
         end of a fully reliable run."""
         return sorted(
             key for key, r in self._records.items() if r.recovered_at is None
         )
+
+    def unterminated(self) -> list[tuple[int, int]]:
+        """(client, seq) pairs neither recovered nor abandoned.
+
+        The liveness invariant the hardened runtimes guarantee is that
+        this is empty once the engine drains: every detected loss must
+        reach an explicit terminal state.  (Contrast :meth:`outstanding`,
+        which also counts abandoned losses — those are unrepaired but
+        *terminated*.)
+        """
+        return sorted(
+            key
+            for key, r in self._records.items()
+            if r.recovered_at is None and r.abandoned_at is None
+        )
+
+    def was_abandoned(self, client: int, seq: int) -> bool:
+        record = self._records.get((client, seq))
+        return record is not None and record.abandoned_at is not None
 
     def latencies(self) -> list[float]:
         """Detection→recovery delays of all recovered losses."""

@@ -29,6 +29,7 @@ from repro.obs.events import (
     AttemptEvent,
     BackoffEvent,
     EventBus,
+    FaultEvent,
     ObsEvent,
     PhaseEvent,
     TimerEvent,
@@ -56,6 +57,7 @@ __all__ = [
     "AttemptEvent",
     "BackoffEvent",
     "EventBus",
+    "FaultEvent",
     "ObsEvent",
     "PhaseEvent",
     "TimerEvent",

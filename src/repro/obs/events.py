@@ -16,9 +16,13 @@ cannot show:
   :data:`SOURCE_RANK` marks the source fallback.
 * :class:`TimerEvent` — a protocol timer armed, fired or cancelled.
 * :class:`BackoffEvent` — a suppression/congestion backoff increment
-  (SRM request timers).
+  (SRM request timers, hardened-retry exponential backoff).
 * :class:`PhaseEvent` — session lifecycle transitions (stream start and
   end, completion, drain).
+* :class:`FaultEvent` — one injected fault firing (crash rx/tx drop,
+  link-down drop, burst-state drop, request/repair blackhole) or a
+  hardening reaction to faults (a peer declared dead, a recovery
+  abandoned).  See :mod:`repro.sim.faults`.
 
 The :class:`EventBus` fans records out to attached sinks.  Its
 ``active`` property is the fast path guard: when no attached sink
@@ -37,8 +41,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle breaker
 #: ``rank`` value marking the source-fallback attempt (not a list peer).
 SOURCE_RANK = -1
 
-#: Attempt statuses an :class:`AttemptEvent` may carry.
-ATTEMPT_STATUSES = ("started", "succeeded", "timed_out", "nacked", "retracted")
+#: Attempt statuses an :class:`AttemptEvent` may carry.  ``abandoned``
+#: is the hardened runtimes' explicit terminal give-up (bounded source
+#: retries exhausted) — it only ever appears under a non-default
+#: :class:`~repro.protocols.policy.RecoveryPolicy`.
+ATTEMPT_STATUSES = (
+    "started", "succeeded", "timed_out", "nacked", "retracted", "abandoned",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,9 +123,28 @@ class PhaseEvent(ObsEvent):
     detail: str = ""
 
 
+@dataclass(frozen=True, slots=True)
+class FaultEvent(ObsEvent):
+    """An injected fault fired, or the hardening layer reacted to one.
+
+    ``fault`` is the dotted kind (``crash.rx_drop``, ``crash.tx_drop``,
+    ``link.down_drop``, ``burst.drop``, ``blackhole.request``,
+    ``blackhole.repair``, ``peer.dead``, ``recovery.abandoned``);
+    ``node``/``peer``/``seq`` carry whatever identity the kind has
+    (-1 where not applicable).
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    fault: str = ""
+    node: int = -1
+    peer: int = -1
+    seq: int = -1
+
+
 _EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.kind: cls
-    for cls in (AttemptEvent, TimerEvent, BackoffEvent, PhaseEvent)
+    for cls in (AttemptEvent, TimerEvent, BackoffEvent, PhaseEvent, FaultEvent)
 }
 
 

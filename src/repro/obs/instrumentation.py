@@ -34,6 +34,7 @@ from repro.obs.events import (
     AttemptEvent,
     BackoffEvent,
     EventBus,
+    FaultEvent,
     PhaseEvent,
     TimerEvent,
 )
@@ -150,6 +151,27 @@ class Instrumentation:
                 backoff=backoff,
             ))
 
+    def fault(
+        self,
+        time: float,
+        fault: str,
+        node: int = -1,
+        peer: int = -1,
+        seq: int = -1,
+    ) -> None:
+        """An injected fault fired (or hardening reacted to one); bumps
+        the ``fault.<kind>`` counter and emits a
+        :class:`~repro.obs.events.FaultEvent`."""
+        counter = self._counters.get(("fault", fault))
+        if counter is None:
+            counter = self.registry.counter(f"fault.{fault}")
+            self._counters[("fault", fault)] = counter
+        counter.value += 1
+        if self.bus.active:
+            self.bus.emit(FaultEvent(
+                time=time, fault=fault, node=node, peer=peer, seq=seq,
+            ))
+
     def phase(self, time: float, phase: str, detail: str = "") -> None:
         counter = self._counters.get(("phase", phase))
         if counter is None:
@@ -198,6 +220,9 @@ class _NullInstrumentation(Instrumentation):
         pass
 
     def backoff(self, *args, **kwargs) -> None:
+        pass
+
+    def fault(self, *args, **kwargs) -> None:
         pass
 
     def phase(self, *args, **kwargs) -> None:

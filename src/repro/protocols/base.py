@@ -40,15 +40,33 @@ class CompletionTracker:
             raise ValueError("counts must be non-negative")
         self.expected = num_clients * num_packets
         self._remaining = self.expected
+        self._abandoned = 0
 
     def mark_received(self) -> None:
         if self._remaining <= 0:
             raise ValueError("more receptions than expected — double counting")
         self._remaining -= 1
 
+    def mark_abandoned(self) -> None:
+        """A (client, seq) slot was explicitly given up on.
+
+        Settles the slot exactly like a reception would — ``complete``
+        means "every slot terminated", not "every slot repaired" — so
+        hardened runs under faults still drain instead of flushing
+        SESSION messages forever for a packet nobody will ever supply.
+        """
+        if self._remaining <= 0:
+            raise ValueError("more settlements than expected — double counting")
+        self._remaining -= 1
+        self._abandoned += 1
+
     @property
     def remaining(self) -> int:
         return self._remaining
+
+    @property
+    def abandoned(self) -> int:
+        return self._abandoned
 
     @property
     def complete(self) -> bool:
@@ -86,6 +104,7 @@ class ClientAgent:
         )
         self.received: set[int] = set()
         self.detected: set[int] = set()
+        self.abandoned_seqs: set[int] = set()
         self._next_unchecked = 0
 
     # -- reception --------------------------------------------------------
@@ -105,16 +124,21 @@ class ClientAgent:
         if seq in self.received:
             return
         self.received.add(seq)
-        if 0 <= seq < self.num_packets:
+        if 0 <= seq < self.num_packets and seq not in self.abandoned_seqs:
+            # Abandonment already settled this slot in the tracker; a
+            # late repair must not decrement it a second time.
             self.tracker.mark_received()
         now = self.network.events.now
         if seq in self.detected:
-            if kind is PacketKind.DATA:
+            if kind is PacketKind.DATA and seq not in self.abandoned_seqs:
                 # The original data arrived after all — the detection was
                 # false (a request raced the data, or jitter reordered the
                 # stream).  The packet was never lost: retract it.
                 self.log.retract(self.node, seq)
             else:
+                # Abandoned seqs keep their record (the abandonment is
+                # history worth keeping) and take the recovered path even
+                # for late DATA.
                 self.log.recovered(self.node, seq, now)
             self.on_recovered(seq)
         self.on_new_packet(seq)
@@ -150,6 +174,22 @@ class ClientAgent:
 
     def on_protocol_packet(self, packet: Packet) -> None:
         """Default: ignore protocol chatter not handled by the subclass."""
+
+    def abandon(self, seq: int) -> None:
+        """Terminate the recovery of ``seq`` without the packet.
+
+        The hardened runtimes' explicit give-up: records the abandonment
+        in the log, settles the completion-tracker slot so the run can
+        drain, and remembers the seq so a late repair neither
+        double-counts the slot nor erases the abandonment record.
+        No-op if the packet already arrived or was already abandoned.
+        """
+        if seq in self.received or seq in self.abandoned_seqs:
+            return
+        self.abandoned_seqs.add(seq)
+        self.log.abandoned(self.node, seq, self.network.events.now)
+        if 0 <= seq < self.num_packets:
+            self.tracker.mark_abandoned()
 
     def force_detect(self, seq: int) -> None:
         """Treat ``seq`` as lost right now even without a gap.

@@ -31,6 +31,11 @@ from repro.core.timeouts import ProportionalTimeout, TimeoutPolicy
 from repro.metrics.collectors import RecoveryLog
 from repro.obs.instrumentation import Instrumentation
 from repro.protocols.base import CompletionTracker, ProtocolFactory, SourceAgentBase
+from repro.protocols.policy import (
+    DEFAULT_RECOVERY_POLICY,
+    PeerFailureDetector,
+    RecoveryPolicy,
+)
 from repro.protocols.rp import RPClientAgent, RPSourceAgent
 from repro.sim.network import SimNetwork
 from repro.sim.rng import RngStreams
@@ -43,11 +48,14 @@ class NaiveConfig:
     ``list_length`` peers per client (fewer if not enough peers exist);
     ``timeout_policy`` guards each attempt; ``source_multicast`` matches
     the RP fallback so only the list construction differs.
+    ``recovery_policy`` hardens the shared runtime exactly as for RP
+    (minus re-planning — naive lists are not planner products).
     """
 
     list_length: int = 3
     timeout_policy: TimeoutPolicy | None = None
     source_multicast: bool = True
+    recovery_policy: RecoveryPolicy = DEFAULT_RECOVERY_POLICY
 
     def __post_init__(self) -> None:
         if self.list_length < 0:
@@ -112,6 +120,12 @@ class _NaiveFactoryBase(ProtocolFactory):
         instrumentation: Instrumentation | None = None,
     ) -> SourceAgentBase:
         policy = self.config.timeout_policy or ProportionalTimeout()
+        recovery_policy = self.config.recovery_policy
+        detector = (
+            PeerFailureDetector(recovery_policy.failure_threshold)
+            if recovery_policy.failure_threshold > 0
+            else None
+        )
         rng = streams.get(f"naive:{self.name}")
         for client in network.tree.clients:
             peers = self._peers_for(network, client, rng)
@@ -120,6 +134,8 @@ class _NaiveFactoryBase(ProtocolFactory):
                 client, network, log, tracker, num_packets, strategy,
                 instrumentation=instrumentation,
                 protocol=self.name.lower(),
+                policy=recovery_policy,
+                detector=detector,
             )
             network.attach_agent(client, agent)
         source = RPSourceAgent(

@@ -49,6 +49,11 @@ from repro.protocols.base import (
     RepairDeduper,
     SourceAgentBase,
 )
+from repro.protocols.policy import (
+    DEFAULT_RECOVERY_POLICY,
+    PeerFailureDetector,
+    RecoveryPolicy,
+)
 from repro.sim.engine import Timer
 from repro.sim.network import SimNetwork
 from repro.sim.packet import Packet, PacketKind
@@ -70,6 +75,7 @@ class RMAConfig:
 
     timeout_policy: TimeoutPolicy | None = None
     source_deadline_factor: float = 2.0
+    recovery_policy: RecoveryPolicy = DEFAULT_RECOVERY_POLICY
 
     def __post_init__(self) -> None:
         if self.source_deadline_factor <= 0:
@@ -104,6 +110,7 @@ class _PendingSearch:
     __slots__ = (
         "seq", "index", "timer", "deadline",
         "detected_at", "attempts_sent", "rank", "peer", "sent_at",
+        "source_attempts",
     )
 
     def __init__(self, seq: int, deadline: float, detected_at: float = 0.0):
@@ -116,6 +123,9 @@ class _PendingSearch:
         self.rank = SOURCE_RANK
         self.peer = -1
         self.sent_at = detected_at
+        # Requests sent to the source so far: drives the hardened
+        # policy's backoff scale and bounded-fallback abandonment.
+        self.source_attempts = 0
 
 
 class RMAClientAgent(ClientAgent):
@@ -128,12 +138,15 @@ class RMAClientAgent(ClientAgent):
         num_packets: int,
         config: RMAConfig,
         instrumentation: Instrumentation | None = None,
+        detector: PeerFailureDetector | None = None,
     ):
         super().__init__(
             node, network, log, tracker, num_packets,
             instrumentation=instrumentation,
         )
         self.timeout_policy = config.timeout_policy or ProportionalTimeout()
+        self.policy = config.recovery_policy
+        self.detector = detector
         self.search_order = upstream_receiver_order(network, node)
         self._source_rtt = network.routing.rtt(node, network.tree.root)
         self._search_budget = config.source_deadline_factor * max(
@@ -159,14 +172,34 @@ class RMAClientAgent(ClientAgent):
         request = Packet(PacketKind.REQUEST, pending.seq, origin=self.node)
         now = self.network.events.now
         past_deadline = now >= pending.deadline
+        if self.detector is not None:
+            # Skip peers the failure detector already declared dead —
+            # their timeout would be burned on certain silence.
+            while (
+                pending.index < len(self.search_order)
+                and self.detector.is_dead(self.search_order[pending.index][0])
+            ):
+                pending.index += 1
         if pending.index < len(self.search_order) and not past_deadline:
             peer, rtt = self.search_order[pending.index]
             rank = pending.index
             timeout = self.timeout_policy.timeout(rtt)
         else:
+            limit = self.policy.max_source_attempts
+            if limit > 0 and pending.source_attempts >= limit:
+                self._abandon_search(pending)
+                return
+            pending.source_attempts += 1
             peer = self.network.tree.root
             rank = SOURCE_RANK
             timeout = self.timeout_policy.timeout(self._source_rtt)
+            scale = self.policy.backoff_scale(pending.source_attempts - 1)
+            if scale != 1.0:
+                timeout = timeout * scale
+                self.instr.backoff(
+                    now, "rma", self.node, pending.seq,
+                    backoff=pending.source_attempts - 1,
+                )
         pending.attempts_sent += 1
         pending.rank = rank
         pending.peer = peer
@@ -193,9 +226,29 @@ class RMAClientAgent(ClientAgent):
             pending.rank, pending.peer, "timed_out",
             elapsed=now - pending.sent_at,
         )
+        if pending.rank != SOURCE_RANK and self.detector is not None:
+            died = self.detector.record_timeout(pending.peer)
+            if died:
+                self.instr.fault(
+                    now, "peer.dead", node=self.node, peer=pending.peer
+                )
         if pending.index < len(self.search_order):
             pending.index += 1  # escalate; the deadline may cut this short
         self._send_next(pending)
+
+    def _abandon_search(self, pending: _PendingSearch) -> None:
+        """Bounded source fallback exhausted — terminate explicitly."""
+        now = self.network.events.now
+        self._pending.pop(pending.seq, None)
+        self.instr.attempt(
+            now, "rma", self.node, pending.seq, pending.attempts_sent,
+            SOURCE_RANK, self.network.tree.root, "abandoned",
+            elapsed=now - pending.detected_at,
+        )
+        self.instr.fault(
+            now, "recovery.abandoned", node=self.node, seq=pending.seq
+        )
+        self.abandon(pending.seq)
 
     def on_recovered(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
@@ -206,6 +259,8 @@ class RMAClientAgent(ClientAgent):
             pending.timer.cancel()
             self.instr.timer(now, "rma", self.node, "rma.search", "cancelled")
         if self.log.is_recovered(self.node, seq):
+            if self.detector is not None and pending.rank != SOURCE_RANK:
+                self.detector.record_alive(pending.peer)
             self.instr.attempt(
                 now, "rma", self.node, seq, pending.attempts_sent,
                 pending.rank, pending.peer, "succeeded",
@@ -286,10 +341,17 @@ class RMAProtocolFactory(ProtocolFactory):
         num_packets: int,
         instrumentation: Instrumentation | None = None,
     ) -> SourceAgentBase:
+        recovery_policy = self.config.recovery_policy
+        detector = (
+            PeerFailureDetector(recovery_policy.failure_threshold)
+            if recovery_policy.failure_threshold > 0
+            else None
+        )
         for client in network.tree.clients:
             agent = RMAClientAgent(
                 client, network, log, tracker, num_packets, self.config,
                 instrumentation=instrumentation,
+                detector=detector,
             )
             network.attach_agent(client, agent)
         source = RMASourceAgent(network.tree.root, network)

@@ -16,10 +16,22 @@ Requests to the source are retried forever (with the source timeout),
 so the protocol is fully reliable even when requests or repairs are
 themselves lost — a case the paper's analysis ignores but its (and our)
 simulations exercise at up to 20% per-link loss.
+
+Under injected faults (:mod:`repro.sim.faults`) retry-forever against a
+crashed or black-holed source is a silent hang, so the runtime also
+supports a hardened mode through
+:class:`~repro.protocols.policy.RecoveryPolicy`: bounded per-peer
+retries with exponential backoff, a consecutive-timeout failure
+detector that skips dead peers (optionally re-planning the prioritized
+lists with the dead peers restricted out of the strategy graph), and a
+bounded source fallback that terminates hopeless recoveries in an
+explicit ``abandoned`` record.  At the default policy every hardened
+path collapses to the paper-faithful behaviour above, bit for bit.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable
 
@@ -36,6 +48,11 @@ from repro.protocols.base import (
     ProtocolFactory,
     RepairDeduper,
     SourceAgentBase,
+)
+from repro.protocols.policy import (
+    DEFAULT_RECOVERY_POLICY,
+    PeerFailureDetector,
+    RecoveryPolicy,
 )
 from repro.sim.engine import Timer
 from repro.sim.network import SimNetwork
@@ -71,6 +88,11 @@ class RPConfig:
         subtree the source repairs into (section 2.2's "grouping clients
         in a net neighborhood"; the authors' [4]).  ``None`` uses the
         coarse one-subgroup-per-source-child default.
+    recovery_policy:
+        Retry/backoff/failure-detection/abandonment knobs
+        (:class:`~repro.protocols.policy.RecoveryPolicy`); the default
+        is the paper-faithful behaviour described in the module
+        docstring.
     """
 
     timeout_policy: TimeoutPolicy | None = None
@@ -79,6 +101,7 @@ class RPConfig:
     source_multicast: bool = True
     negative_acks: bool = False
     subgrouping: "Callable[..., object] | None" = None
+    recovery_policy: RecoveryPolicy = DEFAULT_RECOVERY_POLICY
 
 
 class _PendingRecovery:
@@ -94,13 +117,26 @@ class _PendingRecovery:
         "rank",
         "peer",
         "sent_at",
+        "strategy",
+        "target_retries",
+        "source_attempts",
     )
 
-    def __init__(self, seq: int, detected_at: float = 0.0):
+    def __init__(self, seq: int, strategy: RecoveryStrategy, detected_at: float = 0.0):
         self.seq = seq
         self.attempt_index = 0
         self.timer: Timer | None = None
         self.req_id = -1
+        # The strategy is snapshotted per recovery: a failure-detector
+        # re-plan swaps the agent's list for *subsequent* losses, while
+        # an in-flight recovery finishes on the list (and indexing) it
+        # started with.
+        self.strategy = strategy
+        # Hardening state: retries of the current target (drives the
+        # backoff scale) and total requests sent to the source (drives
+        # the bounded-fallback abandonment).
+        self.target_retries = 0
+        self.source_attempts = 0
         # Telemetry bookkeeping: when the loss clock started, how many
         # requests went out, and where the latest one went.
         self.detected_at = detected_at
@@ -124,6 +160,8 @@ class RPClientAgent(ClientAgent):
         negative_acks: bool = False,
         instrumentation: Instrumentation | None = None,
         protocol: str = "rp",
+        policy: RecoveryPolicy | None = None,
+        detector: PeerFailureDetector | None = None,
     ):
         super().__init__(
             node, network, log, tracker, num_packets,
@@ -132,19 +170,60 @@ class RPClientAgent(ClientAgent):
         self.strategy = strategy
         self.negative_acks = negative_acks
         self.protocol = protocol
+        self.policy = policy if policy is not None else DEFAULT_RECOVERY_POLICY
+        #: Shared per-run failure detector (None = disabled); dead peers
+        #: are skipped when a recovery walks its prioritized list.
+        self.detector = detector
         self._pending: dict[int, _PendingRecovery] = {}
         self._req_counter = 0
 
     # -- recovery state machine ------------------------------------------
 
     def on_loss_detected(self, seq: int) -> None:
-        pending = _PendingRecovery(seq, detected_at=self.network.events.now)
+        pending = _PendingRecovery(
+            seq, self.strategy, detected_at=self.network.events.now
+        )
         self._pending[seq] = pending
         self._send_next_request(pending)
 
+    def _skip_dead_peers(self, pending: _PendingRecovery) -> None:
+        if self.detector is None:
+            return
+        attempts = pending.strategy.attempts
+        while (
+            pending.attempt_index < len(attempts)
+            and self.detector.is_dead(attempts[pending.attempt_index].node)
+        ):
+            pending.attempt_index += 1
+            pending.target_retries = 0
+
     def _send_next_request(self, pending: _PendingRecovery) -> None:
-        attempts = self.strategy.attempts
+        self._skip_dead_peers(pending)
+        attempts = pending.strategy.attempts
         index = pending.attempt_index
+        now = self.network.events.now
+        if index < len(attempts):
+            peer = attempts[index].node
+            rank = index
+            timeout = pending.strategy.timeouts[index]
+        else:
+            # Source fallback; retried on timeout — forever at the
+            # default policy, bounded (then abandoned) when hardened.
+            limit = self.policy.max_source_attempts
+            if limit > 0 and pending.source_attempts >= limit:
+                self._abandon_recovery(pending)
+                return
+            pending.source_attempts += 1
+            peer = self.network.tree.root
+            rank = SOURCE_RANK
+            timeout = pending.strategy.source_timeout
+        scale = self.policy.backoff_scale(pending.target_retries)
+        if scale != 1.0:
+            timeout = timeout * scale
+            self.instr.backoff(
+                now, self.protocol, self.node, pending.seq,
+                backoff=pending.target_retries,
+            )
         self._req_counter += 1
         pending.req_id = self._req_counter
         request = Packet(
@@ -153,16 +232,6 @@ class RPClientAgent(ClientAgent):
             origin=self.node,
             req_id=self._req_counter,
         )
-        if index < len(attempts):
-            peer = attempts[index].node
-            rank = index
-            timeout = self.strategy.timeouts[index]
-        else:
-            # Source fallback; retried on timeout forever.
-            peer = self.network.tree.root
-            rank = SOURCE_RANK
-            timeout = self.strategy.source_timeout
-        now = self.network.events.now
         pending.attempts_sent += 1
         pending.rank = rank
         pending.peer = peer
@@ -191,10 +260,43 @@ class RPClientAgent(ClientAgent):
             pending.attempts_sent, pending.rank, pending.peer, "timed_out",
             elapsed=now - pending.sent_at,
         )
-        if pending.attempt_index < len(self.strategy.attempts):
-            pending.attempt_index += 1
-        # else: stay on the source and retry it.
+        if pending.rank != SOURCE_RANK:
+            if self.detector is not None:
+                died = self.detector.record_timeout(pending.peer)
+                if died:
+                    self.instr.fault(
+                        now, "peer.dead", node=self.node, peer=pending.peer
+                    )
+            if (
+                pending.target_retries + 1 < self.policy.max_peer_retries
+                and not (
+                    self.detector is not None
+                    and self.detector.is_dead(pending.peer)
+                )
+            ):
+                # Retry the same peer with a backed-off timeout.
+                pending.target_retries += 1
+            else:
+                pending.attempt_index += 1
+                pending.target_retries = 0
+        else:
+            # Stay on the source; the retry count drives the backoff.
+            pending.target_retries += 1
         self._send_next_request(pending)
+
+    def _abandon_recovery(self, pending: _PendingRecovery) -> None:
+        """Bounded source fallback exhausted — terminate explicitly."""
+        now = self.network.events.now
+        self._pending.pop(pending.seq, None)
+        self.instr.attempt(
+            now, self.protocol, self.node, pending.seq,
+            pending.attempts_sent, SOURCE_RANK, self.network.tree.root,
+            "abandoned", elapsed=now - pending.detected_at,
+        )
+        self.instr.fault(
+            now, "recovery.abandoned", node=self.node, seq=pending.seq
+        )
+        self.abandon(pending.seq)
 
     def on_recovered(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)
@@ -207,6 +309,8 @@ class RPClientAgent(ClientAgent):
                 now, self.protocol, self.node, "rp.attempt", "cancelled"
             )
         if self.log.is_recovered(self.node, seq):
+            if self.detector is not None and pending.rank != SOURCE_RANK:
+                self.detector.record_alive(pending.peer)
             # Success is attributed to the outstanding attempt: repairs
             # raced from an earlier rank are rare and indistinguishable
             # here without packet provenance.
@@ -259,6 +363,9 @@ class RPClientAgent(ClientAgent):
         if pending is None or packet.req_id != pending.req_id:
             return  # stale reply from an already-advanced attempt
         now = self.network.events.now
+        if self.detector is not None:
+            # "Don't have" is still proof of life.
+            self.detector.record_alive(packet.origin)
         if pending.timer is not None:
             pending.timer.cancel()
             self.instr.timer(
@@ -269,8 +376,11 @@ class RPClientAgent(ClientAgent):
             pending.attempts_sent, pending.rank, pending.peer, "nacked",
             elapsed=now - pending.sent_at,
         )
-        if pending.attempt_index < len(self.strategy.attempts):
+        if pending.attempt_index < len(pending.strategy.attempts):
+            # No point retrying a peer that just said "don't have":
+            # advance regardless of the per-peer retry budget.
             pending.attempt_index += 1
+            pending.target_retries = 0
         self._send_next_request(pending)
 
 
@@ -346,28 +456,62 @@ class RPProtocolFactory(ProtocolFactory):
             from repro.core.objective import RttOnlyEstimator
 
             estimator = RttOnlyEstimator()
-        planner = RPPlanner(
-            network.tree,
-            network.routing,
-            timeout_policy=self.config.timeout_policy,
-            estimator=estimator,
-            restrictions=self.config.restrictions,
-            profiler=(
-                instrumentation.profiler if instrumentation is not None else None
-            ),
+        metrics = (
+            instrumentation.registry
+            if instrumentation is not None and instrumentation.enabled
+            else None
         )
-        # Planning is a pure function of (tree, RTTs, timeout, estimator,
-        # restrictions) — notably not of link loss probabilities — so a
-        # loss-probability sweep hits the process-global plan cache on
-        # every point after the first (see repro.core.plan_cache).
-        self.last_strategies = plan_cache.plans_for(
-            planner,
-            metrics=(
-                instrumentation.registry
-                if instrumentation is not None and instrumentation.enabled
-                else None
-            ),
+        profiler = (
+            instrumentation.profiler if instrumentation is not None else None
         )
+
+        def plan(restrictions: StrategyRestrictions | None):
+            planner = RPPlanner(
+                network.tree,
+                network.routing,
+                timeout_policy=self.config.timeout_policy,
+                estimator=estimator,
+                restrictions=restrictions,
+                profiler=profiler,
+            )
+            # Planning is a pure function of (tree, RTTs, timeout,
+            # estimator, restrictions) — notably not of link loss
+            # probabilities — so a loss-probability sweep hits the
+            # process-global plan cache on every point after the first
+            # (see repro.core.plan_cache).  The restrictions are part of
+            # the cache key, so failure-detector re-plans with the same
+            # dead set hit too.
+            return plan_cache.plans_for(planner, metrics=metrics)
+
+        self.last_strategies = plan(self.config.restrictions)
+        policy = self.config.recovery_policy
+        agents: dict[int, RPClientAgent] = {}
+        detector: PeerFailureDetector | None = None
+        if policy.failure_threshold > 0:
+
+            def on_death(peer: int) -> None:
+                if not policy.replan_on_death:
+                    return
+                base = self.config.restrictions or StrategyRestrictions()
+                replanned = plan(
+                    dataclasses.replace(
+                        base,
+                        forbidden_peers=(
+                            frozenset(base.forbidden_peers) | detector.dead
+                        ),
+                    )
+                )
+                self.last_strategies = replanned
+                # Swap lists for subsequent recoveries; in-flight
+                # recoveries hold their own strategy snapshot.
+                for client, agent in agents.items():
+                    new = replanned.get(client)
+                    if new is not None:
+                        agent.strategy = new
+
+            detector = PeerFailureDetector(
+                policy.failure_threshold, on_death=on_death
+            )
         for client, strategy in self.last_strategies.items():
             agent = RPClientAgent(
                 client,
@@ -378,7 +522,10 @@ class RPProtocolFactory(ProtocolFactory):
                 strategy=strategy,
                 negative_acks=self.config.negative_acks,
                 instrumentation=instrumentation,
+                policy=policy,
+                detector=detector,
             )
+            agents[client] = agent
             network.attach_agent(client, agent)
         subgrouping = (
             self.config.subgrouping(network.tree)

@@ -29,6 +29,7 @@ from repro.protocols.base import (
     ProtocolFactory,
     SourceAgentBase,
 )
+from repro.protocols.policy import DEFAULT_RECOVERY_POLICY, RecoveryPolicy
 from repro.sim.engine import Timer
 from repro.sim.network import SimNetwork
 from repro.sim.packet import Packet, PacketKind
@@ -39,6 +40,7 @@ from repro.sim.rng import RngStreams
 class SourceConfig:
     timeout_policy: TimeoutPolicy | None = None
     subgroup_multicast: bool = False
+    recovery_policy: RecoveryPolicy = DEFAULT_RECOVERY_POLICY
 
 
 class SourceRecoveryClientAgent(ClientAgent):
@@ -51,6 +53,7 @@ class SourceRecoveryClientAgent(ClientAgent):
         num_packets: int,
         timeout_policy: TimeoutPolicy,
         instrumentation: Instrumentation | None = None,
+        policy: RecoveryPolicy | None = None,
     ):
         super().__init__(
             node, network, log, tracker, num_packets,
@@ -59,6 +62,7 @@ class SourceRecoveryClientAgent(ClientAgent):
         self._timeout = timeout_policy.timeout(
             network.routing.rtt(node, network.tree.root)
         )
+        self.policy = policy if policy is not None else DEFAULT_RECOVERY_POLICY
         self._timers: dict[int, Timer] = {}
         self._detected_at: dict[int, float] = {}
         self._attempts: dict[int, int] = {}
@@ -70,9 +74,19 @@ class SourceRecoveryClientAgent(ClientAgent):
 
     def _request(self, seq: int) -> None:
         now = self.network.events.now
-        self._attempts[seq] = self._attempts.get(seq, 0) + 1
+        attempt = self._attempts.get(seq, 0) + 1
+        self._attempts[seq] = attempt
+        # Retries of the only target (the source) back off exponentially
+        # under a hardened policy; attempt 1 always runs at scale 1.
+        scale = self.policy.backoff_scale(attempt - 1)
+        timeout = self._timeout
+        if scale != 1.0:
+            timeout = timeout * scale
+            self.instr.backoff(
+                now, "source", self.node, seq, backoff=attempt - 1
+            )
         self.instr.attempt(
-            now, "source", self.node, seq, self._attempts[seq],
+            now, "source", self.node, seq, attempt,
             SOURCE_RANK, self.network.tree.root, "started",
             elapsed=now - self._detected_at.get(seq, now),
         )
@@ -82,11 +96,11 @@ class SourceRecoveryClientAgent(ClientAgent):
             Packet(PacketKind.REQUEST, seq, origin=self.node),
         )
         self._timers[seq] = self.network.events.schedule(
-            self._timeout, lambda: self._on_timeout(seq)
+            timeout, lambda: self._on_timeout(seq)
         )
         self.instr.timer(
             now, "source", self.node, "source.request", "armed",
-            deadline=now + self._timeout,
+            deadline=now + timeout,
         )
 
     def _on_timeout(self, seq: int) -> None:
@@ -98,7 +112,25 @@ class SourceRecoveryClientAgent(ClientAgent):
                 SOURCE_RANK, self.network.tree.root, "timed_out",
                 elapsed=self._timeout,
             )
-            self._request(seq)  # retry until repaired
+            limit = self.policy.max_source_attempts
+            if limit > 0 and self._attempts.get(seq, 0) >= limit:
+                self._abandon(seq)
+                return
+            self._request(seq)  # retry until repaired (or abandoned)
+
+    def _abandon(self, seq: int) -> None:
+        """Bounded retries exhausted — terminate the recovery."""
+        now = self.network.events.now
+        self._timers.pop(seq, None)
+        detected_at = self._detected_at.pop(seq, now)
+        attempts = self._attempts.pop(seq, 0)
+        self.instr.attempt(
+            now, "source", self.node, seq, attempts,
+            SOURCE_RANK, self.network.tree.root, "abandoned",
+            elapsed=now - detected_at,
+        )
+        self.instr.fault(now, "recovery.abandoned", node=self.node, seq=seq)
+        self.abandon(seq)
 
     def on_recovered(self, seq: int) -> None:
         timer = self._timers.pop(seq, None)
@@ -159,6 +191,7 @@ class SourceProtocolFactory(ProtocolFactory):
             agent = SourceRecoveryClientAgent(
                 client, network, log, tracker, num_packets, policy,
                 instrumentation=instrumentation,
+                policy=self.config.recovery_policy,
             )
             network.attach_agent(client, agent)
         source = SourceRecoverySourceAgent(

@@ -50,7 +50,11 @@ class SRMConfig:
     scales the post-repair quiet period (in units of the responder's
     distance to the requester) during which it will not schedule another
     repair for the same packet.  ``max_backoff`` caps the exponential
-    request backoff so timers stay finite.
+    request backoff so timers stay finite.  ``max_request_rounds``
+    bounds how many NACK floods one loss may send before the receiver
+    gives up on it (an explicit ``abandoned`` terminal, for fault
+    injection where nobody left alive may hold the packet); 0, the
+    default, is the classic NACK-forever full-reliability mode.
     """
 
     c1: float = 2.0
@@ -59,6 +63,7 @@ class SRMConfig:
     d2: float = 1.0
     repair_hold_factor: float = 3.0
     max_backoff: int = 8
+    max_request_rounds: int = 0
 
     def __post_init__(self) -> None:
         if min(self.c1, self.c2, self.d1, self.d2) < 0:
@@ -69,6 +74,8 @@ class SRMConfig:
             raise ValueError("repair_hold_factor must be >= 0")
         if self.max_backoff < 0:
             raise ValueError("max_backoff must be >= 0")
+        if self.max_request_rounds < 0:
+            raise ValueError("max_request_rounds must be >= 0 (0 = unbounded)")
 
 
 class _SRMRepairLogic:
@@ -209,6 +216,14 @@ class SRMClientAgent(ClientAgent, _SRMRepairLogic):
             return
         now = self.network.events.now
         self.instr.timer(now, "srm", self.node, "srm.request", "fired")
+        limit = self.config.max_request_rounds
+        if limit > 0 and pending.attempts_sent >= limit:
+            # Bounded mode: the wait after the final NACK flood expired
+            # unanswered — terminate explicitly instead of flooding
+            # forever.  (A repair that still arrives later is accepted
+            # and logged as recovered.)
+            self._abandon_request(pending)
+            return
         pending.attempts_sent += 1
         # SRM has no prioritized list; every NACK flood addresses the
         # whole group, recorded as rank 0.
@@ -223,6 +238,20 @@ class SRMClientAgent(ClientAgent, _SRMRepairLogic):
         pending.backoff += 1
         self.instr.backoff(now, "srm", self.node, pending.seq, pending.backoff)
         self._arm_request(pending)
+
+    def _abandon_request(self, pending: _PendingRequest) -> None:
+        now = self.network.events.now
+        self._requests.pop(pending.seq, None)
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.instr.attempt(
+            now, "srm", self.node, pending.seq, pending.attempts_sent, 0, -1,
+            "abandoned", elapsed=now - pending.detected_at,
+        )
+        self.instr.fault(
+            now, "recovery.abandoned", node=self.node, seq=pending.seq
+        )
+        self.abandon(pending.seq)
 
     def on_loss_detected(self, seq: int) -> None:
         pending = _PendingRequest(seq, detected_at=self.network.events.now)

@@ -42,6 +42,7 @@ from repro.sim.packet import Packet, PacketKind
 if TYPE_CHECKING:  # pragma: no cover - import cycle breaker
     from repro.metrics.collectors import BandwidthLedger
     from repro.obs.profiler import Profiler
+    from repro.sim.faults import FaultInjector
 
 
 class Agent(Protocol):
@@ -68,6 +69,7 @@ class SimNetwork:
         jitter_rng: np.random.Generator | None = None,
         congestion: "object | None" = None,
         profiler: "Profiler | None" = None,
+        faults: "FaultInjector | None" = None,
     ):
         # Imported here, not at module level: metrics.collectors imports
         # sim.packet, so a module-level import would be circular.
@@ -106,6 +108,12 @@ class SimNetwork:
         # Optional wall-clock profiling of the transmit path; None (or a
         # disabled profiler) keeps the hot path at one attribute test.
         self._profiler = profiler
+        # Optional fault injection (crash windows, link downs, burst
+        # loss, recovery black-holing — see repro.sim.faults).  None
+        # keeps every fault check at a single attribute test, and the
+        # runner never constructs an injector for a null schedule, so
+        # fault-free runs replay the pre-fault byte stream exactly.
+        self._faults = faults
         self.ledger = ledger if ledger is not None else BandwidthLedger()
         self._agents: dict[int, Agent] = {}
 
@@ -124,6 +132,13 @@ class SimNetwork:
     def _deliver(self, node: int, packet: Packet) -> None:
         agent = self._agents.get(node)
         if agent is not None:
+            if self._faults is not None and self._faults.drop_delivery(
+                node, packet, self.events.now
+            ):
+                # The node's *process* is crashed: the wire delivered,
+                # the agent silently ignores.  (Forwarding through the
+                # node is unaffected — routers did not crash.)
+                return
             agent.on_packet(packet)
 
     # -- link-level primitive ------------------------------------------------
@@ -161,13 +176,29 @@ class SimNetwork:
         on_arrival: Callable[[], None],
     ) -> bool:
         self.ledger.charge_hop(packet.kind)
-        lossy = link.loss_prob > 0.0 and not (
-            self._lossless_recovery and packet.is_recovery_traffic
-        )
-        rng = self._data_loss_rng if packet.kind is PacketKind.DATA else self._loss_rng
-        if lossy and rng.random() < link.loss_prob:
+        faults = self._faults
+        if faults is not None and faults.link_down(link, self.events.now):
+            # A down link drops everything — data, session and recovery
+            # alike, regardless of the lossless_recovery exemption.
             self.ledger.charge_drop(packet.kind)
             return False
+        exempt = self._lossless_recovery and packet.is_recovery_traffic
+        if faults is not None and faults.burst_loss and not exempt:
+            # Gilbert–Elliott replaces the Bernoulli draw entirely; its
+            # draws come from the fault lane, never the loss streams.
+            if faults.burst_loss_draw(link, self.events.now):
+                self.ledger.charge_drop(packet.kind)
+                return False
+        else:
+            lossy = link.loss_prob > 0.0 and not exempt
+            rng = (
+                self._data_loss_rng
+                if packet.kind is PacketKind.DATA
+                else self._loss_rng
+            )
+            if lossy and rng.random() < link.loss_prob:
+                self.ledger.charge_drop(packet.kind)
+                return False
         delay = link.delay
         if self._jitter > 0.0:
             assert self._jitter_rng is not None
@@ -194,8 +225,20 @@ class SimNetwork:
 
         Delivery (if the packet survives every hop) invokes the
         destination agent; intermediate nodes just forward.  ``src ==
-        dst`` delivers locally on the next event tick (zero hops).
+        dst`` delivers locally on the next event tick (zero hops) —
+        through :meth:`_deliver`, so local delivery faces the same
+        crash check as a remote arrival.
         """
+        faults = self._faults
+        if faults is not None:
+            now = self.events.now
+            if faults.suppress_send(src, packet, now):
+                return
+            if faults.blackhole(packet, now):
+                # The recovery packet vanishes end-to-end: hops are not
+                # charged (it was eaten, not transmitted) and the
+                # receiver's only signal is its own timeout.
+                return
         if src == dst:
             self.events.schedule(0.0, lambda: self._deliver(dst, packet))
             return
@@ -225,6 +268,10 @@ class SimNetwork:
         """
         if not self.tree.contains(src) or not self.tree.contains(subtree_root):
             raise ValueError("multicast endpoints must be tree members")
+        if self._faults is not None and self._faults.suppress_send(
+            src, packet, self.events.now
+        ):
+            return
 
         def down(node: int) -> None:
             for child in self.tree.children(node):
@@ -259,6 +306,10 @@ class SimNetwork:
         outward from ``src``, delivering to every member reached."""
         if not self.tree.contains(src):
             raise ValueError(f"flood origin {src} is not a tree member")
+        if self._faults is not None and self._faults.suppress_send(
+            src, packet, self.events.now
+        ):
+            return
 
         def spread(node: int, came_from: int) -> None:
             neighbors = list(self.tree.children(node))

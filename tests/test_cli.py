@@ -23,6 +23,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--protocol", "xyz"])
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seeds == [1]
+        assert args.intensity is None
+        assert args.routers == 60
+        assert args.packets == 20
+
 
 class TestRunCommand:
     def test_run_prints_summary_table(self, capsys):
@@ -114,6 +121,34 @@ class TestRealismFlags:
             "--jitter", "0.1",
         ])
         assert rc == 0
+
+
+class TestChaosCommand:
+    def test_chaos_runs_and_reports_zero_violations(self, capsys, tmp_path):
+        out_path = tmp_path / "chaos.json"
+        rc = main([
+            "chaos", "--seeds", "1", "--intensity", "0.0", "0.4",
+            "--routers", "25", "--packets", "5",
+            "--save", str(out_path),
+        ])
+        assert rc == 0  # non-zero would mean a liveness violation
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "liveness violations: 0" in out
+        for name in ("RP", "SRM", "RMA", "SOURCE", "NEAREST"):
+            assert name in out
+        assert out_path.exists()
+
+    def test_chaos_load_rerenders_saved_sweep(self, capsys, tmp_path):
+        from repro.experiments.chaos import run_chaos_sweep
+
+        path = tmp_path / "chaos.json"
+        run_chaos_sweep(
+            seeds=(1,), intensities=(0.3,), num_routers=20, num_packets=4
+        ).save(path)
+        rc = main(["chaos", "--load", str(path)])
+        assert rc == 0
+        assert "Chaos sweep" in capsys.readouterr().out
 
 
 class TestRunnerArtifacts:
