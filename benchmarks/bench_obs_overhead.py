@@ -1,6 +1,6 @@
 """Instrumentation overhead: what does wiring telemetry in cost?
 
-Three arms run the identical seeded RP session:
+Five arms run the identical seeded RP session:
 
 * **uninstrumented** — the process-wide ``NULL_INSTRUMENTATION``
   default (what every normal run pays);
@@ -9,7 +9,13 @@ Three arms run the identical seeded RP session:
   records are built), profiler off.  This is the cost of merely having
   the layer present;
 * **recording** — ``Instrumentation.recording()``: ring buffer plus
-  profiler, everything ``repro obs`` needs.
+  profiler, everything ``repro obs`` needs — tracing *off*, so this is
+  also the "tracing disabled" reference for the tracing arms;
+* **tracing** — ``recording(trace=True)``: every recovery becomes a
+  span tree (link-observer fan-in, span assembly, annotations);
+* **tracing sampled** — ``recording(trace=True,
+  trace_sample_rate=0.25)``: head sampling drops ~3/4 of the traces at
+  the root, so span assembly for them is skipped.
 
 Each arm is repeated and the *median* wall clock kept (the arms
 alternate, so a warmup or turbo drift hits all three equally).  The
@@ -44,7 +50,12 @@ ARMS = {
     "uninstrumented": lambda: NULL_INSTRUMENTATION,
     "noop_sink": Instrumentation.noop,
     "recording": Instrumentation.recording,
+    "tracing": lambda: Instrumentation.recording(trace=True),
+    "tracing_sampled": lambda: Instrumentation.recording(
+        trace=True, trace_sample_rate=0.25
+    ),
 }
+OVERHEAD_ARMS = ("noop_sink", "recording", "tracing", "tracing_sampled")
 
 
 def _time_arm(built, make_instr) -> tuple[float, object]:
@@ -74,14 +85,12 @@ def test_obs_overhead():
             summaries[name] = summary
 
     # All arms must have simulated the exact same session.
-    assert summaries["noop_sink"] == summaries["uninstrumented"]
-    assert summaries["recording"] == summaries["uninstrumented"]
+    for name in OVERHEAD_ARMS:
+        assert summaries[name] == summaries["uninstrumented"], name
 
     medians = {name: statistics.median(ts) for name, ts in times.items()}
     base = medians["uninstrumented"]
-    overhead = {
-        name: medians[name] / base - 1.0 for name in ("noop_sink", "recording")
-    }
+    overhead = {name: medians[name] / base - 1.0 for name in OVERHEAD_ARMS}
 
     payload = {
         "config": {

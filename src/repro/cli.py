@@ -13,6 +13,12 @@ Subcommands cover the common workflows without writing Python:
     Run one instrumented scenario and print the attempt-level telemetry
     breakdown (attempts-per-recovery histogram, per-rank success rates
     against the model's ``1 - DS_j/DS_{j-1}`` predictions, top timers).
+``python -m repro trace``
+    Run one traced scenario and print the critical-path breakdown of
+    recovery latency (request transit, peer processing, repair transit,
+    timeout slack, backoff) plus the worst recoveries; ``--perfetto``
+    and ``--spans`` export the span trees for Perfetto /
+    ``chrome://tracing`` and as JSONL.
 ``python -m repro campaign``
     The full figure-reproduction campaign (``--telemetry`` adds
     per-protocol attempt telemetry next to the sweeps).
@@ -196,6 +202,36 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_protocol_detailed
+    from repro.obs import Instrumentation
+    from repro.obs.critical_path import analyze
+    from repro.obs.export import write_perfetto, write_spans_jsonl
+
+    built = build_scenario(_scenario_from(args))
+    factory = PROTOCOLS[args.protocol]()
+    instr = Instrumentation.recording(
+        trace=True, trace_sample_rate=args.sample_rate
+    )
+    try:
+        artifacts = run_protocol_detailed(built, factory, instrumentation=instr)
+    finally:
+        instr.close()
+    store = artifacts.spans
+    assert store is not None
+    report = analyze(
+        store, strategies=getattr(factory, "last_strategies", None) or None
+    )
+    print(report.render(worst_k=args.worst))
+    if args.perfetto is not None:
+        path = write_perfetto(store, args.perfetto)
+        print(f"\nPerfetto trace written to {path}")
+    if args.spans is not None:
+        path = write_spans_jsonl(store, args.spans)
+        print(f"span JSONL written to {path}")
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     built = build_scenario(_scenario_from(args))
     planner = RPPlanner(built.tree, built.routing)
@@ -282,6 +318,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="save the attempt-level report as JSON",
     )
     p_obs.set_defaults(func=_cmd_obs)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one traced scenario: critical-path breakdown + span export",
+    )
+    _add_scenario_args(p_trace)
+    p_trace.add_argument(
+        "--protocol",
+        choices=sorted(PROTOCOLS),
+        default="rp",
+        help="protocol to trace",
+    )
+    p_trace.add_argument(
+        "--sample-rate", type=float, default=1.0, metavar="R",
+        help="head-sampling rate in [0, 1] (abnormal recoveries are"
+        " always kept; default 1.0 = trace everything)",
+    )
+    p_trace.add_argument(
+        "--worst", type=int, default=5, metavar="K",
+        help="how many slowest recoveries to list (default 5)",
+    )
+    p_trace.add_argument(
+        "--perfetto", metavar="PATH", default=None,
+        help="write the span trees as Chrome/Perfetto trace-event JSON",
+    )
+    p_trace.add_argument(
+        "--spans", metavar="PATH", default=None,
+        help="write the span trees as JSONL (one span per line)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_plan = sub.add_parser("plan", help="print RP strategies")
     _add_scenario_args(p_plan)

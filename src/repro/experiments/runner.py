@@ -20,6 +20,7 @@ from repro.net.routing import RoutingTable
 from repro.net.topology import Topology
 from repro.obs.instrumentation import Instrumentation
 from repro.obs.report import ObsReport, build_obs_report
+from repro.obs.spans import SpanStore
 from repro.protocols.base import CompletionTracker, ProtocolFactory, StreamDriver
 from repro.sim.congestion import LinearCongestionModel
 from repro.sim.engine import EventQueue
@@ -80,6 +81,9 @@ class RunArtifacts:
     obs: ObsReport | None = None
     faults: FaultInjector | None = None
     liveness: LivenessReport | None = None
+    #: Causal span trees; ``None`` unless the instrumentation carried a
+    #: :class:`~repro.obs.tracing.Tracer` (``recording(trace=True)``).
+    spans: SpanStore | None = None
 
 
 def run_protocol(
@@ -161,6 +165,11 @@ def run_protocol_detailed(
         profiler=profiler,
         faults=injector,
     )
+    tracer = instr.tracer if instr is not None else None
+    if tracer is not None:
+        # The tracer consumes the network's link-event stream; packet
+        # stamping happens inside the protocol agents via trace_ids.
+        network.add_link_observer(tracer.on_link_event)
     clients = built.tree.clients
     tracker = CompletionTracker(len(clients), config.num_packets)
     source_agent = factory.install(
@@ -185,6 +194,8 @@ def run_protocol_detailed(
     events.run(until=events.now + config.drain_time, max_events=config.max_events)
     if instr is not None:
         instr.phase(events.now, "session.drained")
+    if tracer is not None:
+        tracer.finish(events.now)
     liveness = None
     if injector is not None:
         # The hardened-recovery invariant: a faulted run may abandon,
@@ -210,6 +221,7 @@ def run_protocol_detailed(
     return RunArtifacts(
         summary=summary, log=log, ledger=ledger, obs=obs,
         faults=injector, liveness=liveness,
+        spans=tracer.store if tracer is not None else None,
     )
 
 

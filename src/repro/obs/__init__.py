@@ -18,10 +18,19 @@ behaviour.  This subpackage records it:
   three, with a free disabled default (:data:`NULL_INSTRUMENTATION`);
 * :mod:`repro.obs.report` — reduces a run's telemetry to the
   attempt-level :class:`ObsReport` (attempts-per-recovery histogram,
-  per-rank success rates vs. the model, top timers).
+  per-rank success rates vs. the model, top timers);
+* :mod:`repro.obs.spans` / :mod:`repro.obs.tracing` — causal recovery
+  tracing: every recovery becomes a span tree (root ``recovery``,
+  attempt children, link-traversal grandchildren) assembled by a
+  deterministically head-sampled :class:`Tracer`;
+* :mod:`repro.obs.export` — deterministic span exporters
+  (Chrome/Perfetto trace-event JSON, JSONL);
+* :mod:`repro.obs.critical_path` — splits traced recovery latency into
+  request-transit / peer-processing / repair-transit / timeout-slack /
+  backoff components and checks per-rank outcomes against the model.
 
-See ``docs/OBSERVABILITY.md`` for the event taxonomy and how to check
-Lemma 3 against recorded attempts.
+See ``docs/OBSERVABILITY.md`` for the event taxonomy, how to check
+Lemma 3 against recorded attempts, and the causal-tracing workflow.
 """
 
 from repro.obs.events import (
@@ -34,6 +43,21 @@ from repro.obs.events import (
     PhaseEvent,
     TimerEvent,
     event_from_dict,
+)
+from repro.obs.critical_path import (
+    COMPONENTS,
+    CriticalPathReport,
+    RankPath,
+    TraceBreakdown,
+    analyze,
+    analyze_trace,
+)
+from repro.obs.export import (
+    read_spans_jsonl,
+    spans_to_jsonl,
+    to_perfetto,
+    write_perfetto,
+    write_spans_jsonl,
 )
 from repro.obs.instrumentation import NULL_INSTRUMENTATION, Instrumentation
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -51,6 +75,13 @@ from repro.obs.sinks import (
     RingBufferSink,
     read_jsonl,
 )
+from repro.obs.spans import (
+    NO_SPAN,
+    Span,
+    SpanStore,
+    TraceContext,
+)
+from repro.obs.tracing import Tracer, sample_hash
 
 __all__ = [
     "SOURCE_RANK",
@@ -79,4 +110,21 @@ __all__ = [
     "NullSink",
     "RingBufferSink",
     "read_jsonl",
+    "NO_SPAN",
+    "Span",
+    "SpanStore",
+    "TraceContext",
+    "Tracer",
+    "sample_hash",
+    "COMPONENTS",
+    "CriticalPathReport",
+    "RankPath",
+    "TraceBreakdown",
+    "analyze",
+    "analyze_trace",
+    "read_spans_jsonl",
+    "spans_to_jsonl",
+    "to_perfetto",
+    "write_perfetto",
+    "write_spans_jsonl",
 ]

@@ -90,7 +90,12 @@ class AttemptEvent(ObsEvent):
 
 @dataclass(frozen=True, slots=True)
 class TimerEvent(ObsEvent):
-    """A protocol timer armed / fired / cancelled."""
+    """A protocol timer armed / fired / cancelled.
+
+    ``seq`` names the recovery the timer guards (-1 for timers not tied
+    to one loss), which is what lets the causal tracer attach timer
+    annotations to the right span.
+    """
 
     kind: ClassVar[str] = "timer"
 
@@ -99,11 +104,19 @@ class TimerEvent(ObsEvent):
     label: str = ""
     action: str = "armed"  # armed | fired | cancelled
     deadline: float = 0.0
+    seq: int = -1
 
 
 @dataclass(frozen=True, slots=True)
 class BackoffEvent(ObsEvent):
-    """A backoff increment (SRM request suppression / congestion)."""
+    """A backoff increment (SRM request suppression / congestion).
+
+    ``extra`` is the absolute extra wait the increment added to the
+    next timeout (scaled minus base, in sim-ms; 0 where the protocol
+    has no single scaled timeout, e.g. SRM's timer-window backoff) —
+    the critical-path analyzer reads it to split timeout slack from
+    backoff overhead.
+    """
 
     kind: ClassVar[str] = "backoff"
 
@@ -111,6 +124,7 @@ class BackoffEvent(ObsEvent):
     node: int = -1
     seq: int = -1
     backoff: int = 0
+    extra: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,136 @@
+"""Span-tree exporters: JSONL spans and Chrome/Perfetto trace JSON.
+
+Two deterministic projections of a :class:`~repro.obs.spans.SpanStore`:
+
+* :func:`spans_to_jsonl` / :func:`write_spans_jsonl` — one
+  ``Span.to_dict`` JSON object per line, keys sorted, in store order.
+  Byte-identical across runs of one seed (span ids are dense counters
+  in creation order); :func:`read_spans_jsonl` is the inverse.
+* :func:`to_perfetto` / :func:`write_perfetto` — the Chrome trace-event
+  format (the JSON flavour Perfetto and ``chrome://tracing`` both
+  load).  Each trace renders as one *process* (pid = trace id) whose
+  threads are the nodes involved; spans become ``ph="X"`` complete
+  events and annotations become ``ph="i"`` thread-scoped instants.
+  Timestamps convert from sim-ms to the format's microseconds.
+
+Both writers emit sorted keys and fixed separators so two exports of
+the same store compare equal with ``cmp`` — the CI trace smoke job
+pins exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections.abc import Iterable
+
+from repro.obs.spans import NO_SPAN, Span, SpanStore
+
+#: Sim time is in milliseconds; the trace-event format wants µs.
+_US_PER_SIM_MS = 1000.0
+
+_JSON_KW = {"sort_keys": True, "separators": (",", ":")}
+
+
+def _as_spans(spans: "SpanStore | Iterable[Span]") -> list[Span]:
+    if isinstance(spans, SpanStore):
+        return spans.spans()
+    return list(spans)
+
+
+# -- JSONL ----------------------------------------------------------------
+
+
+def spans_to_jsonl(spans: "SpanStore | Iterable[Span]") -> str:
+    """The store as newline-delimited JSON (trailing newline included)."""
+    lines = [json.dumps(s.to_dict(), **_JSON_KW) for s in _as_spans(spans)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_spans_jsonl(
+    spans: "SpanStore | Iterable[Span]", path: str | pathlib.Path
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(spans_to_jsonl(spans), encoding="utf-8")
+    return path
+
+
+def read_spans_jsonl(path: str | pathlib.Path) -> list[Span]:
+    """Inverse of :func:`write_spans_jsonl`."""
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(Span.from_dict(json.loads(line)))
+    return out
+
+
+# -- Chrome / Perfetto trace-event JSON -----------------------------------
+
+
+def to_perfetto(spans: "SpanStore | Iterable[Span]") -> dict:
+    """The store as a Chrome trace-event JSON object.
+
+    One process per trace, one thread per participating node.  Complete
+    (``X``) events carry the span's attrs plus its tree identity in
+    ``args``; annotations become instant (``i``) events on the same
+    thread.  Everything is emitted in deterministic store order.
+    """
+    span_list = _as_spans(spans)
+    events: list[dict] = []
+    named_processes: set[int] = set()
+    named_threads: set[tuple[int, int]] = set()
+    for span in span_list:
+        pid, tid = span.trace_id, span.node
+        if pid not in named_processes and span.parent_id == NO_SPAN:
+            named_processes.add(pid)
+            client = span.attrs.get("client", span.node)
+            seq = span.attrs.get("seq", -1)
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": f"recovery client={client} seq={seq}"},
+            })
+        if (pid, tid) not in named_threads:
+            named_threads.add((pid, tid))
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": f"node {tid}"},
+            })
+        start = span.start * _US_PER_SIM_MS
+        end = (span.end if span.end is not None else span.start)
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        args["parent_id"] = span.parent_id
+        events.append({
+            "ph": "X", "name": span.name, "cat": span.category,
+            "pid": pid, "tid": tid, "ts": start,
+            "dur": end * _US_PER_SIM_MS - start, "args": args,
+        })
+        for note in span.annotations:
+            extra = {k: v for k, v in note.items() if k not in ("time", "label")}
+            events.append({
+                "ph": "i", "name": note["label"], "cat": span.category,
+                "pid": pid, "tid": tid, "s": "t",
+                "ts": note["time"] * _US_PER_SIM_MS, "args": extra,
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(
+    spans: "SpanStore | Iterable[Span]", path: str | pathlib.Path
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(
+        json.dumps(to_perfetto(spans), **_JSON_KW) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+__all__ = [
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "to_perfetto",
+    "write_perfetto",
+]

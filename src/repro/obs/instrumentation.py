@@ -22,7 +22,10 @@ configurations:
   discarding sink, profiler off (the overhead bench's middle arm);
 * ``Instrumentation.recording(...)`` — ring buffer (optionally plus a
   JSONL file), profiler on: everything the ``repro obs`` breakdown and
-  :class:`~repro.obs.report.ObsReport` need.
+  :class:`~repro.obs.report.ObsReport` need.  ``recording(trace=True)``
+  additionally attaches a causal :class:`~repro.obs.tracing.Tracer`,
+  which the emit helpers forward to and ``trace_ids`` reads span
+  contexts from (the ``repro trace`` configuration).
 """
 
 from __future__ import annotations
@@ -41,10 +44,12 @@ from repro.obs.events import (
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import Profiler
 from repro.obs.sinks import JsonlSink, NullSink, RingBufferSink
+from repro.obs.spans import NO_SPAN
+from repro.obs.tracing import Tracer
 
 
 class Instrumentation:
-    """Injectable bundle of registry + event bus + profiler."""
+    """Injectable bundle of registry + event bus + profiler (+ tracer)."""
 
     enabled = True
 
@@ -53,10 +58,16 @@ class Instrumentation:
         registry: MetricsRegistry | None = None,
         bus: EventBus | None = None,
         profiler: Profiler | None = None,
+        tracer: Tracer | None = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.bus = bus if bus is not None else EventBus()
         self.profiler = profiler if profiler is not None else Profiler()
+        #: Optional causal tracer: when set, the emit helpers forward
+        #: their events to it and ``trace_ids`` hands out span contexts
+        #: for packet stamping.  None keeps every forwarding site at a
+        #: single attribute test.
+        self.tracer = tracer
         # Emit helpers run on the protocol hot path; caching the counter
         # per tuple key skips the dotted-name formatting and registry
         # lookup after the first emit of each (protocol, status) pair.
@@ -82,12 +93,24 @@ class Instrumentation:
         capacity: int = 1_000_000,
         jsonl_path: str | pathlib.Path | None = None,
         profile: bool = True,
+        trace: bool = False,
+        trace_sample_rate: float = 1.0,
     ) -> "Instrumentation":
-        """Ring buffer (+ optional JSONL file), profiler on by default."""
+        """Ring buffer (+ optional JSONL file), profiler on by default.
+
+        ``trace=True`` adds a causal :class:`~repro.obs.tracing.Tracer`
+        (head-sampled at ``trace_sample_rate``; abandonment/fault traces
+        always kept) — the runner registers it on the network and
+        finishes it after the drain.
+        """
         sinks: list = [RingBufferSink(capacity)]
         if jsonl_path is not None:
             sinks.append(JsonlSink(jsonl_path))
-        return cls(bus=EventBus(sinks), profiler=Profiler(enabled=profile))
+        tracer = Tracer(sample_rate=trace_sample_rate) if trace else None
+        return cls(
+            bus=EventBus(sinks), profiler=Profiler(enabled=profile),
+            tracer=tracer,
+        )
 
     # -- emit helpers ---------------------------------------------------------
 
@@ -116,6 +139,12 @@ class Instrumentation:
                 attempt=attempt, rank=rank, peer=peer, status=status,
                 elapsed=elapsed,
             ))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_attempt(
+                time, protocol, client, seq, attempt, rank, peer, status,
+                elapsed,
+            )
 
     def timer(
         self,
@@ -125,6 +154,7 @@ class Instrumentation:
         label: str,
         action: str,
         deadline: float = 0.0,
+        seq: int = -1,
     ) -> None:
         counter = self._counters.get(("timer", protocol, action))
         if counter is None:
@@ -134,11 +164,15 @@ class Instrumentation:
         if self.bus.active:
             self.bus.emit(TimerEvent(
                 time=time, protocol=protocol, node=node, label=label,
-                action=action, deadline=deadline,
+                action=action, deadline=deadline, seq=seq,
             ))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_timer(time, protocol, node, label, action, deadline, seq)
 
     def backoff(
-        self, time: float, protocol: str, node: int, seq: int, backoff: int
+        self, time: float, protocol: str, node: int, seq: int, backoff: int,
+        extra: float = 0.0,
     ) -> None:
         counter = self._counters.get(("backoff", protocol))
         if counter is None:
@@ -148,8 +182,11 @@ class Instrumentation:
         if self.bus.active:
             self.bus.emit(BackoffEvent(
                 time=time, protocol=protocol, node=node, seq=seq,
-                backoff=backoff,
+                backoff=backoff, extra=extra,
             ))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_backoff(time, protocol, node, seq, backoff, extra)
 
     def fault(
         self,
@@ -171,6 +208,9 @@ class Instrumentation:
             self.bus.emit(FaultEvent(
                 time=time, fault=fault, node=node, peer=peer, seq=seq,
             ))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_fault(time, fault, node, peer, seq)
 
     def phase(self, time: float, phase: str, detail: str = "") -> None:
         counter = self._counters.get(("phase", phase))
@@ -182,6 +222,14 @@ class Instrumentation:
             self.bus.emit(PhaseEvent(time=time, phase=phase, detail=detail))
 
     # -- shorthands -------------------------------------------------------
+
+    def trace_ids(self, client: int, seq: int) -> tuple[int, int]:
+        """The open attempt's ``(trace_id, span_id)`` for stamping onto
+        outgoing packets; ``(-1, -1)`` when untraced."""
+        tracer = self.tracer
+        if tracer is None:
+            return (NO_SPAN, NO_SPAN)
+        return tracer.ids(client, seq)
 
     def count(self, name: str, n: int = 1) -> None:
         self.registry.counter(name).inc(n)

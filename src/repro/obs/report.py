@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.obs.events import SOURCE_RANK, AttemptEvent
 from repro.obs.instrumentation import Instrumentation
+from repro.obs.sinks import RingBufferSink
 
 #: Format version; bump on breaking schema changes.
 OBS_SCHEMA_VERSION = 1
@@ -66,6 +67,9 @@ class ObsReport:
     timers: list[tuple[str, int, float]] = field(default_factory=list)
     counters: dict[str, object] = field(default_factory=dict)
     events_recorded: int = 0
+    #: Ring-buffer evictions during the run: non-zero means the report
+    #: was folded from a truncated window, not the whole run.
+    events_dropped: int = 0
 
     @property
     def mean_attempts_per_recovery(self) -> float | None:
@@ -102,6 +106,7 @@ class ObsReport:
             ],
             "counters": dict(self.counters),
             "events_recorded": self.events_recorded,
+            "events_dropped": self.events_dropped,
         }
 
     @classmethod
@@ -126,6 +131,9 @@ class ObsReport:
             ],
             counters=dict(data["counters"]),
             events_recorded=data["events_recorded"],
+            # Tolerant read: reports saved before the drop counter
+            # existed simply never dropped anything they could count.
+            events_dropped=data.get("events_dropped", 0),
         )
 
     # -- rendering -------------------------------------------------------------
@@ -137,6 +145,11 @@ class ObsReport:
             f"recoveries: {self.recoveries}   attempts: {self.attempts_total}"
             + (f"   mean attempts/recovery: {mean:.2f}" if mean is not None else "")
         )
+        if self.events_dropped:
+            lines.append(
+                f"WARNING: ring buffer dropped {self.events_dropped} events"
+                " — this breakdown covers a truncated window"
+            )
         if self.attempts_by_status:
             parts = ", ".join(
                 f"{status}={count}"
@@ -209,6 +222,14 @@ def build_obs_report(
     model's per-rank predictions next to the measured success rates.
     """
     events = instr.ring_events()
+    dropped = sum(
+        sink.dropped
+        for sink in instr.bus.sinks
+        if isinstance(sink, RingBufferSink)
+    )
+    # Surfaced as a gauge too, so metric scrapes see truncation without
+    # holding the report.
+    instr.registry.gauge("obs.ring.dropped").set(dropped)
     attempts = [e for e in events if isinstance(e, AttemptEvent)]
     if not protocol and attempts:
         protocol = attempts[0].protocol
@@ -262,4 +283,5 @@ def build_obs_report(
         ],
         counters=instr.registry.snapshot(),
         events_recorded=len(events),
+        events_dropped=dropped,
     )

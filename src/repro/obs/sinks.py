@@ -80,15 +80,22 @@ class JsonlSink:
     """Appends one JSON object per event to a file.
 
     The stream is line-delimited so a crashed or interrupted run still
-    leaves every completed record parseable.  Use as a context manager
-    or call :meth:`close` explicitly to flush.
+    leaves every completed record parseable.  ``flush_every`` forces a
+    flush to disk every N writes (0, the default, leaves buffering to
+    the OS) — with it, a run that dies mid-simulation loses at most the
+    last N-1 events.  Use as a context manager or call :meth:`close`
+    explicitly to flush; ``__exit__`` closes on exceptions too.
     """
 
     consumes = True
 
-    def __init__(self, path: str | pathlib.Path):
+    def __init__(self, path: str | pathlib.Path, flush_every: int = 0):
+        if flush_every < 0:
+            raise ValueError("flush_every must be >= 0")
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.flush_every = flush_every
+        self._since_flush = 0
         self._fh: IO[str] | None = self.path.open("w")
 
     def write(self, event: ObsEvent) -> None:
@@ -96,6 +103,11 @@ class JsonlSink:
             raise ValueError(f"sink for {self.path} is closed")
         self._fh.write(json.dumps(event.to_dict(), sort_keys=True))
         self._fh.write("\n")
+        if self.flush_every:
+            self._since_flush += 1
+            if self._since_flush >= self.flush_every:
+                self._fh.flush()
+                self._since_flush = 0
 
     def close(self) -> None:
         if self._fh is not None:

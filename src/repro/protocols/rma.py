@@ -169,7 +169,6 @@ class RMAClientAgent(ClientAgent):
         self._send_next(pending)
 
     def _send_next(self, pending: _PendingSearch) -> None:
-        request = Packet(PacketKind.REQUEST, pending.seq, origin=self.node)
         now = self.network.events.now
         past_deadline = now >= pending.deadline
         if self.detector is not None:
@@ -195,32 +194,44 @@ class RMAClientAgent(ClientAgent):
             timeout = self.timeout_policy.timeout(self._source_rtt)
             scale = self.policy.backoff_scale(pending.source_attempts - 1)
             if scale != 1.0:
-                timeout = timeout * scale
+                scaled = timeout * scale
                 self.instr.backoff(
                     now, "rma", self.node, pending.seq,
                     backoff=pending.source_attempts - 1,
+                    extra=scaled - timeout,
                 )
+                timeout = scaled
         pending.attempts_sent += 1
         pending.rank = rank
         pending.peer = peer
         pending.sent_at = now
+        # Emit before building the packet: the attempt event opens the
+        # trace span the request is stamped with.
         self.instr.attempt(
             now, "rma", self.node, pending.seq, pending.attempts_sent,
             rank, peer, "started", elapsed=now - pending.detected_at,
+        )
+        trace_id, span_id = self.instr.trace_ids(self.node, pending.seq)
+        request = Packet(
+            PacketKind.REQUEST, pending.seq, origin=self.node,
+            trace_id=trace_id, span_id=span_id,
         )
         self.network.send_unicast(self.node, peer, request)
         pending.timer = self.network.events.schedule(
             timeout, lambda: self._on_timeout(pending)
         )
         self.instr.timer(
-            now, "rma", self.node, "rma.search", "armed", deadline=now + timeout
+            now, "rma", self.node, "rma.search", "armed",
+            deadline=now + timeout, seq=pending.seq,
         )
 
     def _on_timeout(self, pending: _PendingSearch) -> None:
         if pending.seq not in self._pending:
             return
         now = self.network.events.now
-        self.instr.timer(now, "rma", self.node, "rma.search", "fired")
+        self.instr.timer(
+            now, "rma", self.node, "rma.search", "fired", seq=pending.seq
+        )
         self.instr.attempt(
             now, "rma", self.node, pending.seq, pending.attempts_sent,
             pending.rank, pending.peer, "timed_out",
@@ -257,7 +268,9 @@ class RMAClientAgent(ClientAgent):
         now = self.network.events.now
         if pending.timer is not None:
             pending.timer.cancel()
-            self.instr.timer(now, "rma", self.node, "rma.search", "cancelled")
+            self.instr.timer(
+                now, "rma", self.node, "rma.search", "cancelled", seq=seq
+            )
         if self.log.is_recovered(self.node, seq):
             if self.detector is not None and pending.rank != SOURCE_RANK:
                 self.detector.record_alive(pending.peer)
@@ -284,7 +297,10 @@ class RMAClientAgent(ClientAgent):
         seq = packet.seq
         meeting = self.network.tree.first_common_router(self.node, packet.origin)
         if self.has(seq):
-            repair = Packet(PacketKind.REPAIR, seq, origin=self.node)
+            repair = Packet(
+                PacketKind.REPAIR, seq, origin=self.node,
+                trace_id=packet.trace_id, span_id=packet.span_id,
+            )
             if self._deduper.should_repair(seq, meeting, self.network.events.now):
                 self.network.multicast_subtree(self.node, meeting, repair)
             else:
@@ -317,7 +333,10 @@ class RMASourceAgent(SourceAgentBase):
         if not self.has(packet.seq):
             return  # not sent yet; the requester retries
         subgroup = self.network.tree.top_level_subgroup(packet.origin)
-        repair = Packet(PacketKind.REPAIR, packet.seq, origin=self.node)
+        repair = Packet(
+            PacketKind.REPAIR, packet.seq, origin=self.node,
+            trace_id=packet.trace_id, span_id=packet.span_id,
+        )
         if self._deduper.should_repair(
             packet.seq, subgroup, self.network.events.now
         ):

@@ -219,27 +219,33 @@ class RPClientAgent(ClientAgent):
             timeout = pending.strategy.source_timeout
         scale = self.policy.backoff_scale(pending.target_retries)
         if scale != 1.0:
-            timeout = timeout * scale
+            scaled = timeout * scale
             self.instr.backoff(
                 now, self.protocol, self.node, pending.seq,
-                backoff=pending.target_retries,
+                backoff=pending.target_retries, extra=scaled - timeout,
             )
+            timeout = scaled
         self._req_counter += 1
         pending.req_id = self._req_counter
+        pending.attempts_sent += 1
+        pending.rank = rank
+        pending.peer = peer
+        pending.sent_at = now
+        # The attempt event opens the trace span, so the span context
+        # must be read *after* emitting it.
+        self.instr.attempt(
+            now, self.protocol, self.node, pending.seq,
+            pending.attempts_sent, rank, peer, "started",
+            elapsed=now - pending.detected_at,
+        )
+        trace_id, span_id = self.instr.trace_ids(self.node, pending.seq)
         request = Packet(
             PacketKind.REQUEST,
             pending.seq,
             origin=self.node,
             req_id=self._req_counter,
-        )
-        pending.attempts_sent += 1
-        pending.rank = rank
-        pending.peer = peer
-        pending.sent_at = now
-        self.instr.attempt(
-            now, self.protocol, self.node, pending.seq,
-            pending.attempts_sent, rank, peer, "started",
-            elapsed=now - pending.detected_at,
+            trace_id=trace_id,
+            span_id=span_id,
         )
         self.network.send_unicast(self.node, peer, request)
         pending.timer = self.network.events.schedule(
@@ -247,14 +253,17 @@ class RPClientAgent(ClientAgent):
         )
         self.instr.timer(
             now, self.protocol, self.node, "rp.attempt", "armed",
-            deadline=now + timeout,
+            deadline=now + timeout, seq=pending.seq,
         )
 
     def _on_timeout(self, pending: _PendingRecovery) -> None:
         if pending.seq not in self._pending:
             return  # already recovered; timer raced with teardown
         now = self.network.events.now
-        self.instr.timer(now, self.protocol, self.node, "rp.attempt", "fired")
+        self.instr.timer(
+            now, self.protocol, self.node, "rp.attempt", "fired",
+            seq=pending.seq,
+        )
         self.instr.attempt(
             now, self.protocol, self.node, pending.seq,
             pending.attempts_sent, pending.rank, pending.peer, "timed_out",
@@ -306,7 +315,8 @@ class RPClientAgent(ClientAgent):
         if pending.timer is not None:
             pending.timer.cancel()
             self.instr.timer(
-                now, self.protocol, self.node, "rp.attempt", "cancelled"
+                now, self.protocol, self.node, "rp.attempt", "cancelled",
+                seq=seq,
             )
         if self.log.is_recovered(self.node, seq):
             if self.detector is not None and pending.rank != SOURCE_RANK:
@@ -339,11 +349,15 @@ class RPClientAgent(ClientAgent):
         if packet.kind is not PacketKind.REQUEST:
             return
         if self.has(packet.seq):
+            # Replies inherit the request's trace context: the REPAIR's
+            # link traversals are children of the attempt that asked.
             repair = Packet(
                 PacketKind.REPAIR,
                 packet.seq,
                 origin=self.node,
                 req_id=packet.req_id,
+                trace_id=packet.trace_id,
+                span_id=packet.span_id,
             )
             self.network.send_unicast(self.node, packet.origin, repair)
         elif self.negative_acks:
@@ -353,6 +367,8 @@ class RPClientAgent(ClientAgent):
                 packet.seq,
                 origin=self.node,
                 req_id=packet.req_id,
+                trace_id=packet.trace_id,
+                span_id=packet.span_id,
             )
             self.network.send_unicast(self.node, packet.origin, nack)
         # Without NACKs: stay silent; the requester's timer expires.
@@ -369,7 +385,8 @@ class RPClientAgent(ClientAgent):
         if pending.timer is not None:
             pending.timer.cancel()
             self.instr.timer(
-                now, self.protocol, self.node, "rp.attempt", "cancelled"
+                now, self.protocol, self.node, "rp.attempt", "cancelled",
+                seq=pending.seq,
             )
         self.instr.attempt(
             now, self.protocol, self.node, pending.seq,
@@ -413,7 +430,9 @@ class RPSourceAgent(SourceAgentBase):
         if not self.has(packet.seq):
             return  # request for data not yet sent; requester will retry
         repair = Packet(
-            PacketKind.REPAIR, packet.seq, origin=self.node, req_id=packet.req_id
+            PacketKind.REPAIR, packet.seq, origin=self.node,
+            req_id=packet.req_id,
+            trace_id=packet.trace_id, span_id=packet.span_id,
         )
         if self.source_multicast:
             subgroup = self.subgrouping.subgroup_root(packet.origin)

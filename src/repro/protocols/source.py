@@ -81,32 +81,42 @@ class SourceRecoveryClientAgent(ClientAgent):
         scale = self.policy.backoff_scale(attempt - 1)
         timeout = self._timeout
         if scale != 1.0:
-            timeout = timeout * scale
+            scaled = timeout * scale
             self.instr.backoff(
-                now, "source", self.node, seq, backoff=attempt - 1
+                now, "source", self.node, seq, backoff=attempt - 1,
+                extra=scaled - timeout,
             )
+            timeout = scaled
         self.instr.attempt(
             now, "source", self.node, seq, attempt,
             SOURCE_RANK, self.network.tree.root, "started",
             elapsed=now - self._detected_at.get(seq, now),
         )
+        # The attempt event opens the trace span, so the span context
+        # must be read *after* emitting it.
+        trace_id, span_id = self.instr.trace_ids(self.node, seq)
         self.network.send_unicast(
             self.node,
             self.network.tree.root,
-            Packet(PacketKind.REQUEST, seq, origin=self.node),
+            Packet(
+                PacketKind.REQUEST, seq, origin=self.node,
+                trace_id=trace_id, span_id=span_id,
+            ),
         )
         self._timers[seq] = self.network.events.schedule(
             timeout, lambda: self._on_timeout(seq)
         )
         self.instr.timer(
             now, "source", self.node, "source.request", "armed",
-            deadline=now + timeout,
+            deadline=now + timeout, seq=seq,
         )
 
     def _on_timeout(self, seq: int) -> None:
         if seq in self._timers:
             now = self.network.events.now
-            self.instr.timer(now, "source", self.node, "source.request", "fired")
+            self.instr.timer(
+                now, "source", self.node, "source.request", "fired", seq=seq
+            )
             self.instr.attempt(
                 now, "source", self.node, seq, self._attempts.get(seq, 0),
                 SOURCE_RANK, self.network.tree.root, "timed_out",
@@ -138,7 +148,7 @@ class SourceRecoveryClientAgent(ClientAgent):
             timer.cancel()
             self.instr.timer(
                 self.network.events.now, "source", self.node,
-                "source.request", "cancelled",
+                "source.request", "cancelled", seq=seq,
             )
         detected_at = self._detected_at.pop(seq, None)
         attempts = self._attempts.pop(seq, 0)
@@ -163,7 +173,10 @@ class SourceRecoverySourceAgent(SourceAgentBase):
     def on_request(self, packet: Packet) -> None:
         if not self.has(packet.seq):
             return
-        repair = Packet(PacketKind.REPAIR, packet.seq, origin=self.node)
+        repair = Packet(
+            PacketKind.REPAIR, packet.seq, origin=self.node,
+            trace_id=packet.trace_id, span_id=packet.span_id,
+        )
         if self.subgroup_multicast:
             subgroup = self.network.tree.top_level_subgroup(packet.origin)
             self.network.multicast_subtree(self.node, subgroup, repair)

@@ -98,9 +98,13 @@ class _SRMRepairLogic:
         )
         self._repair_timers: dict[int, Timer] = {}
         self._repair_hold_until: dict[int, float] = {}
+        # Trace context of the NACK each pending repair answers, so the
+        # repair flood inherits the requester's span (causal stamping).
+        self._repair_ctx: dict[int, tuple[int, int]] = {}
 
-    def _maybe_schedule_repair(self, seq: int, requester: int) -> None:
+    def _maybe_schedule_repair(self, nack: Packet) -> None:
         now = self._srm_network.events.now
+        seq, requester = nack.seq, nack.origin
         if seq in self._repair_timers:
             return
         if self._repair_hold_until.get(seq, -1.0) > now:
@@ -109,37 +113,43 @@ class _SRMRepairLogic:
         d_a = self._srm_network.routing.delay(self._srm_node, requester)
         low, high = cfg.d1 * d_a, (cfg.d1 + cfg.d2) * d_a
         delay = float(self._srm_rng.uniform(low, high)) if high > low else low
+        self._repair_ctx[seq] = (nack.trace_id, nack.span_id)
         self._repair_timers[seq] = self._srm_network.events.schedule(
             delay, lambda: self._fire_repair(seq, requester)
         )
         self._srm_instr.timer(
             now, "srm", self._srm_node, "srm.repair", "armed",
-            deadline=now + delay,
+            deadline=now + delay, seq=seq,
         )
 
     def _fire_repair(self, seq: int, requester: int) -> None:
         self._repair_timers.pop(seq, None)
         self._srm_instr.timer(
             self._srm_network.events.now, "srm", self._srm_node,
-            "srm.repair", "fired",
+            "srm.repair", "fired", seq=seq,
         )
         cfg = self._srm_config
         d_a = self._srm_network.routing.delay(self._srm_node, requester)
         self._repair_hold_until[seq] = (
             self._srm_network.events.now + cfg.repair_hold_factor * d_a
         )
+        trace_id, span_id = self._repair_ctx.pop(seq, (-1, -1))
         self._srm_network.flood_tree(
             self._srm_node,
-            Packet(PacketKind.REPAIR, seq, origin=self._srm_node),
+            Packet(
+                PacketKind.REPAIR, seq, origin=self._srm_node,
+                trace_id=trace_id, span_id=span_id,
+            ),
         )
 
     def _suppress_repair(self, seq: int) -> None:
         timer = self._repair_timers.pop(seq, None)
+        self._repair_ctx.pop(seq, None)
         if timer is not None:
             timer.cancel()
             self._srm_instr.timer(
                 self._srm_network.events.now, "srm", self._srm_node,
-                "srm.repair", "cancelled",
+                "srm.repair", "cancelled", seq=seq,
             )
         # Seeing someone else's repair also starts our hold period:
         # without it we might respond to a retransmitted NACK that the
@@ -208,14 +218,17 @@ class SRMClientAgent(ClientAgent, _SRMRepairLogic):
             delay, lambda: self._fire_request(pending)
         )
         self.instr.timer(
-            now, "srm", self.node, "srm.request", "armed", deadline=now + delay
+            now, "srm", self.node, "srm.request", "armed",
+            deadline=now + delay, seq=pending.seq,
         )
 
     def _fire_request(self, pending: _PendingRequest) -> None:
         if pending.seq not in self._requests:
             return
         now = self.network.events.now
-        self.instr.timer(now, "srm", self.node, "srm.request", "fired")
+        self.instr.timer(
+            now, "srm", self.node, "srm.request", "fired", seq=pending.seq
+        )
         limit = self.config.max_request_rounds
         if limit > 0 and pending.attempts_sent >= limit:
             # Bounded mode: the wait after the final NACK flood expired
@@ -231,8 +244,15 @@ class SRMClientAgent(ClientAgent, _SRMRepairLogic):
             now, "srm", self.node, pending.seq, pending.attempts_sent,
             0, -1, "started", elapsed=now - pending.detected_at,
         )
+        # The attempt event opens the trace span, so the span context
+        # must be read *after* emitting it.
+        trace_id, span_id = self.instr.trace_ids(self.node, pending.seq)
         self.network.flood_tree(
-            self.node, Packet(PacketKind.NACK, pending.seq, origin=self.node)
+            self.node,
+            Packet(
+                PacketKind.NACK, pending.seq, origin=self.node,
+                trace_id=trace_id, span_id=span_id,
+            ),
         )
         # Wait (with backoff) for the repair; if it is lost, NACK again.
         pending.backoff += 1
@@ -265,7 +285,9 @@ class SRMClientAgent(ClientAgent, _SRMRepairLogic):
         now = self.network.events.now
         if pending.timer is not None:
             pending.timer.cancel()
-            self.instr.timer(now, "srm", self.node, "srm.request", "cancelled")
+            self.instr.timer(
+                now, "srm", self.node, "srm.request", "cancelled", seq=seq
+            )
         if self.log.is_recovered(self.node, seq):
             self.instr.attempt(
                 now, "srm", self.node, seq, pending.attempts_sent, 0, -1,
@@ -296,7 +318,7 @@ class SRMClientAgent(ClientAgent, _SRMRepairLogic):
             )
             self._arm_request(pending)
         elif self.has(seq):
-            self._maybe_schedule_repair(seq, packet.origin)
+            self._maybe_schedule_repair(packet)
 
     def on_packet(self, packet: Packet) -> None:
         if packet.kind is PacketKind.REPAIR:
@@ -326,7 +348,7 @@ class SRMSourceAgent(SourceAgentBase, _SRMRepairLogic):
 
     def on_nack(self, packet: Packet) -> None:
         if self.has(packet.seq):
-            self._maybe_schedule_repair(packet.seq, packet.origin)
+            self._maybe_schedule_repair(packet)
 
     def on_packet(self, packet: Packet) -> None:
         if packet.kind is PacketKind.REPAIR:

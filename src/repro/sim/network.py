@@ -38,6 +38,7 @@ from repro.net.routing import RoutingTable
 from repro.net.topology import Link, Topology
 from repro.sim.engine import EventQueue
 from repro.sim.packet import Packet, PacketKind
+from repro.sim.trace import TraceEvent, TraceKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle breaker
     from repro.metrics.collectors import BandwidthLedger
@@ -116,6 +117,44 @@ class SimNetwork:
         self._faults = faults
         self.ledger = ledger if ledger is not None else BandwidthLedger()
         self._agents: dict[int, Agent] = {}
+        # Link observers receive one TraceEvent per transmission, drop
+        # and delivery — the single transmission-level record stream the
+        # TraceRecorder and the causal tracer both consume.  The empty
+        # list keeps every emission site at one truthiness test, so an
+        # unobserved run constructs no events at all.
+        self._link_observers: list[Callable[[TraceEvent], None]] = []
+
+    # -- link observers ---------------------------------------------------
+
+    def add_link_observer(
+        self, observer: Callable[[TraceEvent], None]
+    ) -> None:
+        """Register ``observer`` for every transmit/drop/deliver event."""
+        self._link_observers.append(observer)
+
+    def remove_link_observer(
+        self, observer: Callable[[TraceEvent], None]
+    ) -> None:
+        self._link_observers.remove(observer)
+
+    def _emit_link(
+        self, kind: TraceKind, packet: Packet, node: int, peer: int,
+        delay: float,
+    ) -> None:
+        event = TraceEvent(
+            time=self.events.now,
+            kind=kind,
+            packet_kind=packet.kind,
+            seq=packet.seq,
+            origin=packet.origin,
+            node=node,
+            peer=peer,
+            trace_id=packet.trace_id,
+            span_id=packet.span_id,
+            delay=delay,
+        )
+        for observer in self._link_observers:
+            observer(event)
 
     # -- agents ----------------------------------------------------------
 
@@ -130,6 +169,11 @@ class SimNetwork:
         return self._agents.get(node)
 
     def _deliver(self, node: int, packet: Packet) -> None:
+        # The DELIVER event fires for every arrival — agentless routers
+        # and crash-dropped deliveries included — so observers see the
+        # wire's view, not the process's.
+        if self._link_observers:
+            self._emit_link(TraceKind.DELIVER, packet, node, -1, 0.0)
         agent = self._agents.get(node)
         if agent is not None:
             if self._faults is not None and self._faults.drop_delivery(
@@ -177,28 +221,33 @@ class SimNetwork:
     ) -> bool:
         self.ledger.charge_hop(packet.kind)
         faults = self._faults
+        dropped = False
         if faults is not None and faults.link_down(link, self.events.now):
             # A down link drops everything — data, session and recovery
             # alike, regardless of the lossless_recovery exemption.
-            self.ledger.charge_drop(packet.kind)
-            return False
-        exempt = self._lossless_recovery and packet.is_recovery_traffic
-        if faults is not None and faults.burst_loss and not exempt:
-            # Gilbert–Elliott replaces the Bernoulli draw entirely; its
-            # draws come from the fault lane, never the loss streams.
-            if faults.burst_loss_draw(link, self.events.now):
-                self.ledger.charge_drop(packet.kind)
-                return False
+            dropped = True
         else:
-            lossy = link.loss_prob > 0.0 and not exempt
-            rng = (
-                self._data_loss_rng
-                if packet.kind is PacketKind.DATA
-                else self._loss_rng
-            )
-            if lossy and rng.random() < link.loss_prob:
-                self.ledger.charge_drop(packet.kind)
-                return False
+            exempt = self._lossless_recovery and packet.is_recovery_traffic
+            if faults is not None and faults.burst_loss and not exempt:
+                # Gilbert–Elliott replaces the Bernoulli draw entirely;
+                # its draws come from the fault lane, never the loss
+                # streams.
+                dropped = faults.burst_loss_draw(link, self.events.now)
+            else:
+                lossy = link.loss_prob > 0.0 and not exempt
+                rng = (
+                    self._data_loss_rng
+                    if packet.kind is PacketKind.DATA
+                    else self._loss_rng
+                )
+                dropped = lossy and rng.random() < link.loss_prob
+        if dropped:
+            self.ledger.charge_drop(packet.kind)
+            if self._link_observers:
+                self._emit_link(
+                    TraceKind.DROP, packet, to_node, link.other(to_node), 0.0
+                )
+            return False
         delay = link.delay
         if self._jitter > 0.0:
             assert self._jitter_rng is not None
@@ -214,8 +263,12 @@ class SimNetwork:
                 on_arrival()
 
             self.events.schedule(delay, arrive_and_release)
-            return True
-        self.events.schedule(delay, on_arrival)
+        else:
+            self.events.schedule(delay, on_arrival)
+        if self._link_observers:
+            self._emit_link(
+                TraceKind.TRANSMIT, packet, to_node, link.other(to_node), delay
+            )
         return True
 
     # -- unicast ---------------------------------------------------------------

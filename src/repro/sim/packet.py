@@ -25,6 +25,13 @@ layer, so the packet itself carries only protocol-level identity:
 ``chain_index``
     Position in a forwarded search chain (RMA): how many upstream
     receivers the request has already visited.
+``trace_id`` / ``span_id``
+    Causal-tracing context (see :mod:`repro.obs.spans`): which recovery
+    trace and which attempt span this packet belongs to, stamped by the
+    protocol runtimes when a tracer is installed.  REPAIRs and NACKs
+    copy them from the REQUEST they answer, so the network layer can
+    attribute every link traversal to the attempt that caused it.  -1
+    (the default, and the only value in untraced runs) means untraced.
 """
 
 from __future__ import annotations
@@ -49,6 +56,8 @@ class Packet:
     highest_seq: int = -1
     req_id: int = -1
     chain_index: int = 0
+    trace_id: int = -1
+    span_id: int = -1
 
     def __post_init__(self) -> None:
         if self.kind is not PacketKind.SESSION and self.seq < 0:

@@ -1,25 +1,32 @@
 """Event tracing for the packet simulator.
 
-A :class:`TraceRecorder` hooks a :class:`~repro.sim.network.SimNetwork`
-and records every transmission, drop and delivery as structured
-:class:`TraceEvent` records.  It exists for protocol debugging and for
-tests that assert *how* something happened (which links a repair
-crossed, when a NACK flood reached a node) rather than just the end
-state.
+The network emits one :class:`TraceEvent` per link transmission, drop
+and delivery to whatever *link observers* are registered on it (see
+:meth:`~repro.sim.network.SimNetwork.add_link_observer`).  This is the
+single transmission-level record of the simulator: the debugging
+:class:`TraceRecorder` below and the causal tracer
+(:mod:`repro.obs.tracing`) both consume it, so there is exactly one
+notion of "what happened on the wire".
 
-The hook wraps the network's private primitives, so tracing costs
-nothing when not installed and the network code stays hook-free.
-Filters keep traces of large runs manageable: by packet kind, by
-sequence number, and by node.
+A :class:`TraceRecorder` registers as an observer and records filtered
+events for protocol debugging and for tests that assert *how* something
+happened (which links a repair crossed, when a NACK flood reached a
+node) rather than just the end state.  With no observers registered the
+network skips event construction entirely, so tracing costs nothing
+when not installed.  Filters keep traces of large runs manageable: by
+packet kind, by sequence number, and by node.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.sim.network import SimNetwork
 from repro.sim.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker
+    from repro.sim.network import SimNetwork
 
 
 class TraceKind(enum.Enum):
@@ -30,7 +37,14 @@ class TraceKind(enum.Enum):
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded simulator event."""
+    """One recorded simulator event.
+
+    ``trace_id``/``span_id`` carry the packet's causal-tracing context
+    (-1 when untraced); ``delay`` is the effective link delay of a
+    TRANSMIT (jitter and congestion included; 0 for drops/deliveries),
+    so a consumer knows when the packet lands without re-deriving the
+    link model.
+    """
 
     time: float
     kind: TraceKind
@@ -39,6 +53,9 @@ class TraceEvent:
     origin: int
     node: int          # receiving endpoint (transmit/drop: link target)
     peer: int = -1     # transmit/drop: link source; deliver: -1
+    trace_id: int = -1
+    span_id: int = -1
+    delay: float = 0.0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         arrow = f"{self.peer}->{self.node}" if self.peer >= 0 else f"@{self.node}"
@@ -67,7 +84,13 @@ class TraceFilter:
 
 
 class TraceRecorder:
-    """Records filtered simulator events; install via :meth:`attach`."""
+    """Records filtered simulator events; install via :meth:`attach`.
+
+    A thin adapter over the network's link-observer stream: attaching
+    registers an observer, detaching removes it.  Multiple observers
+    coexist (a recorder and the causal tracer can watch one network at
+    once).
+    """
 
     def __init__(self, trace_filter: TraceFilter | None = None,
                  max_events: int = 1_000_000):
@@ -77,66 +100,31 @@ class TraceRecorder:
         self.max_events = max_events
         self.events: list[TraceEvent] = []
         self._attached: SimNetwork | None = None
-        self._orig_transmit = None
-        self._orig_deliver = None
 
     # -- installation -------------------------------------------------------
 
-    def attach(self, network: SimNetwork) -> "TraceRecorder":
+    def attach(self, network: "SimNetwork") -> "TraceRecorder":
         """Start recording ``network``; returns self for chaining."""
         if self._attached is not None:
             raise RuntimeError("recorder already attached")
         self._attached = network
-        self._orig_transmit = network._transmit
-        self._orig_deliver = network._deliver
-
-        recorder = self
-
-        def traced_transmit(link, to_node, packet, on_arrival):
-            src = link.other(to_node)
-            # The network reports the loss-draw outcome directly, so the
-            # label stays correct however the transmit schedules events.
-            survived = recorder._orig_transmit(link, to_node, packet, on_arrival)
-            recorder._record(
-                TraceKind.TRANSMIT if survived else TraceKind.DROP,
-                packet, node=to_node, peer=src,
-            )
-            return survived
-
-        def traced_deliver(node, packet):
-            recorder._record(TraceKind.DELIVER, packet, node=node)
-            recorder._orig_deliver(node, packet)
-
-        network._transmit = traced_transmit  # type: ignore[method-assign]
-        network._deliver = traced_deliver    # type: ignore[method-assign]
+        network.add_link_observer(self._record)
         return self
 
     def detach(self) -> None:
-        """Stop recording and restore the network's primitives."""
+        """Stop recording and deregister from the network."""
         if self._attached is None:
             return
-        self._attached._transmit = self._orig_transmit  # type: ignore[method-assign]
-        self._attached._deliver = self._orig_deliver    # type: ignore[method-assign]
+        self._attached.remove_link_observer(self._record)
         self._attached = None
 
     # -- recording -----------------------------------------------------------
 
-    def _record(self, kind: TraceKind, packet: Packet, node: int,
-                peer: int = -1) -> None:
+    def _record(self, event: TraceEvent) -> None:
         if len(self.events) >= self.max_events:
             raise RuntimeError(
                 f"trace exceeded {self.max_events} events; narrow the filter"
             )
-        assert self._attached is not None
-        event = TraceEvent(
-            time=self._attached.events.now,
-            kind=kind,
-            packet_kind=packet.kind,
-            seq=packet.seq,
-            origin=packet.origin,
-            node=node,
-            peer=peer,
-        )
         if self.filter.admits(event):
             self.events.append(event)
 

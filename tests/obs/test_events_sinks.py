@@ -101,3 +101,31 @@ class TestJsonlSink:
         with pytest.raises(ValueError):
             sink.write(ALL_EVENTS[0])
         sink.close()  # idempotent
+
+    def test_flush_every_n_hits_disk_mid_run(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, flush_every=2)
+        sink.write(ALL_EVENTS[0])
+        sink.write(ALL_EVENTS[1])  # second write triggers the flush
+        sink.write(ALL_EVENTS[2])  # buffered again
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) >= 2  # the flushed prefix is already durable
+        sink.close()
+        assert list(read_jsonl(path)) == ALL_EVENTS[:3]
+
+    def test_rejects_negative_flush_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "events.jsonl", flush_every=-1)
+
+    def test_context_manager_closes_on_mid_run_exception(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlSink(path) as sink:
+                for event in ALL_EVENTS[:3]:
+                    sink.write(event)
+                raise RuntimeError("simulation crashed mid-run")
+        # __exit__ flushed and closed: every completed record is on disk
+        # and parseable, and the sink refuses further writes.
+        assert list(read_jsonl(path)) == ALL_EVENTS[:3]
+        with pytest.raises(ValueError):
+            sink.write(ALL_EVENTS[3])

@@ -150,3 +150,27 @@ class TestBuildReport:
         assert report.recoveries == 0
         assert report.mean_attempts_per_recovery is None
         assert "recoveries: 0" in report.render()
+
+    def test_ring_drops_surface_in_report_and_gauge(self):
+        instr = Instrumentation.recording(capacity=4)
+        for seq in range(4):
+            instr.bus.emit(_attempt(float(seq), 7, seq, 1, 0, "started"))
+        report = build_obs_report(instr, protocol="rp")
+        assert report.events_dropped == 0
+        assert "WARNING" not in report.render()
+        for seq in range(4, 7):
+            instr.bus.emit(_attempt(float(seq), 7, seq, 1, 0, "started"))
+        report = build_obs_report(instr, protocol="rp")
+        assert report.events_dropped == 3
+        assert instr.registry.gauge("obs.ring.dropped").value == 3
+        assert "ring buffer dropped 3 events" in report.render()
+        assert report.to_dict()["events_dropped"] == 3
+
+    def test_from_dict_tolerates_predrop_reports(self):
+        instr = self._instr_with([
+            _attempt(0.0, 7, 3, 1, 0, "started"),
+            _attempt(30.0, 7, 3, 1, 0, "succeeded", elapsed=30.0),
+        ])
+        data = build_obs_report(instr, protocol="rp").to_dict()
+        del data["events_dropped"]  # a report saved before the counter
+        assert ObsReport.from_dict(data).events_dropped == 0

@@ -167,3 +167,38 @@ class TestRunnerArtifacts:
         assert artifacts.ledger.recovery_hops == artifacts.summary.recovery_hops
         stats = artifacts.log.per_client_stats()
         assert sum(n for n, _, _ in stats.values()) == artifacts.log.num_detected
+
+
+class TestTraceCommand:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.protocol == "rp"
+        assert args.sample_rate == 1.0
+        assert args.worst == 5
+        assert args.perfetto is None and args.spans is None
+
+    def test_trace_prints_breakdown_and_exports(self, capsys, tmp_path):
+        perfetto = tmp_path / "trace.json"
+        spans = tmp_path / "spans.jsonl"
+        rc = main([
+            "trace", "--routers", "30", "--packets", "10", "--seed", "5",
+            "--perfetto", str(perfetto), "--spans", str(spans),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "request_transit" in out
+        import json
+
+        doc = json.loads(perfetto.read_text())
+        assert doc["traceEvents"]
+        assert spans.read_text().strip()
+
+    def test_trace_same_seed_is_reproducible(self, capsys, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        common = ["trace", "--routers", "25", "--packets", "8", "--seed", "9"]
+        assert main(common + ["--spans", str(a)]) == 0
+        assert main(common + ["--spans", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
