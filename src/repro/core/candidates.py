@@ -127,7 +127,7 @@ def candidate_clients(
         # One rtt evaluation per member; min over (rtt, id) pairs keeps
         # the deterministic tie-break and reuses the winner's rtt.
         best_rtt, best = min((2.0 * dist[peer], peer) for peer in members)
-        candidates.append(Candidate(node=best, ds=ds, rtt=best_rtt))
+        candidates.append(Candidate(node=best, ds=ds, rtt=float(best_rtt)))
     candidates.sort(key=lambda c: (-c.ds, c.node))
     return candidates
 

@@ -106,6 +106,13 @@ class TimeoutOnlyEstimator(AttemptCostEstimator):
         return timeout
 
 
+#: Estimators whose ``cost`` is pure elementwise arithmetic and therefore
+#: accepts numpy arrays unchanged.  The array-native batched planner only
+#: engages for these exact types (a subclass may override ``cost`` with
+#: scalar-only logic, so exact-type membership is required).
+VECTORIZABLE_ESTIMATORS = (BlendEstimator, RttOnlyEstimator, TimeoutOnlyEstimator)
+
+
 def expected_strategy_delay(
     ds_u: int,
     attempts: Sequence[Attempt],

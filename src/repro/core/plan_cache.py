@@ -145,9 +145,24 @@ class PlanCache:
         return len(self._entries)
 
     def key_for(self, planner: "RPPlanner") -> tuple:
-        """The planner's full cache key (scenario + knob components)."""
+        """The planner's full cache key (scenario + knob components).
+
+        Includes the routing backend's value key: the landmark backend
+        plans against approximate distances, so its strategies must never
+        be served to an exact-backend planner of the same scenario (and
+        vice versa).
+        """
+        backend = planner.routing.backend
+        cache_key = getattr(backend, "cache_key", None)
+        if cache_key is not None:
+            backend_key = cache_key()
+        else:
+            # Unknown backend type: identity-pin the instance, same
+            # safety trade as _component_key.
+            backend_key = (type(backend).__name__, backend)
         return (
             scenario_fingerprint(planner.tree),
+            backend_key,
             _component_key(planner.timeout_policy),
             _component_key(planner.estimator),
             _restrictions_key(planner.restrictions),

@@ -187,5 +187,16 @@ class RPPlanner:
         )
 
     def plan_all(self) -> dict[int, RecoveryStrategy]:
-        """Strategies for every client of the tree, keyed by client id."""
+        """Strategies for every client of the tree, keyed by client id.
+
+        On a landmark routing backend with stock estimator/timeout knobs
+        this runs as batched numpy passes over equivalence classes
+        (:mod:`repro.core.planner_batch`) instead of the per-client
+        pipeline; other configurations — the exact backend in particular,
+        whose outputs are byte-stable — take the per-client loop.
+        """
+        from repro.core import planner_batch
+
+        if planner_batch.batchable(self):
+            return planner_batch.batched_plan_all(self)
         return {client: self.plan(client) for client in self._tree.clients}

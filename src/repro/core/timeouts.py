@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 
 class TimeoutPolicy(abc.ABC):
     """Maps a peer's expected round-trip time to a request timeout."""
@@ -27,6 +29,15 @@ class TimeoutPolicy(abc.ABC):
     @abc.abstractmethod
     def timeout(self, rtt: float) -> float:
         """Timeout guarding an attempt whose expected RTT is ``rtt``."""
+
+    def timeout_array(self, rtt: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`timeout` over an RTT array.
+
+        The default loops element-wise, so any subclass is batchable;
+        the stock policies override with closed-form numpy expressions
+        (bit-equal to the scalar path) for the array-native planner.
+        """
+        return np.array([self.timeout(float(r)) for r in rtt], dtype=np.float64)
 
 
 class FixedTimeout(TimeoutPolicy):
@@ -43,6 +54,9 @@ class FixedTimeout(TimeoutPolicy):
 
     def timeout(self, rtt: float) -> float:
         return self._t0
+
+    def timeout_array(self, rtt: "np.ndarray") -> "np.ndarray":
+        return np.full(len(rtt), self._t0, dtype=np.float64)
 
     def __repr__(self) -> str:
         return f"FixedTimeout({self._t0!r})"
@@ -88,6 +102,9 @@ class ProportionalTimeout(TimeoutPolicy):
 
     def timeout(self, rtt: float) -> float:
         return max(self._floor, self._factor * rtt + self._slack)
+
+    def timeout_array(self, rtt: "np.ndarray") -> "np.ndarray":
+        return np.maximum(self._floor, self._factor * rtt + self._slack)
 
     def __repr__(self) -> str:
         return (

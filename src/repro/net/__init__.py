@@ -13,7 +13,9 @@ Public entry points
     Seeded random / structured topology generators (the paper's random
     backbone plus deterministic shapes used by tests and examples).
 :class:`~repro.net.routing.RoutingTable`
-    All-pairs shortest expected-delay unicast routing.
+    Shortest expected-delay unicast routing behind pluggable distance
+    backends (exact on-demand Dijkstra, approximate landmark embedding
+    for very large topologies).
 :class:`~repro.net.mcast_tree.MulticastTree`
     Rooted spanning subtree with the distance/ancestor queries the RP
     planner needs (``DS`` hop counts, first common routers, subtrees).
@@ -33,7 +35,12 @@ from repro.net.generators import (
     waxman_backbone,
 )
 from repro.net.render import render_tree
-from repro.net.routing import RoutingTable
+from repro.net.routing import (
+    ExactDistanceBackend,
+    LandmarkDistanceBackend,
+    RoutingTable,
+    make_backend,
+)
 from repro.net.mcast_tree import MulticastTree, random_multicast_tree
 from repro.net.ghost import SharedLink, expand_shared_links
 
@@ -51,6 +58,9 @@ __all__ = [
     "binary_tree_topology",
     "render_tree",
     "RoutingTable",
+    "ExactDistanceBackend",
+    "LandmarkDistanceBackend",
+    "make_backend",
     "MulticastTree",
     "random_multicast_tree",
     "SharedLink",

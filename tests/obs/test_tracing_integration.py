@@ -146,11 +146,14 @@ def test_span_trees_well_formed_across_scenarios(params):
     # Every delivered repair's span chain reaches the root — restated
     # explicitly on the repair link spans (assert_well_formed covers
     # them, this pins that they exist whenever recoveries succeeded).
+    # Only meaningful at sample rate 1.0: a recovery can succeed off a
+    # repair multicast that rides *another* client's trace, and under
+    # partial sampling that other trace may have been sampled out.
     repairs = [s for s in store.spans() if s.name == "xmit.repair"]
     succeeded = [
         r for r in store.roots() if r.attrs.get("status") == "succeeded"
     ]
-    if succeeded:
+    if succeeded and params["sample_rate"] >= 1.0:
         assert repairs, "succeeded recoveries but no repair link spans"
     # Sampling accounting: every started trace is kept, sampled out, or
     # still would have been open (none after finish()).
