@@ -180,6 +180,10 @@ def run_protocol_detailed(
         network, source_agent, config.stream_config(), tracker,
         instrumentation=instr,
     )
+    # Arm the array dissemination fast path (no-op under jitter,
+    # congestion, faults, profiling or REPRO_FAST_DISSEM=0; per-call
+    # conditions fall back to the scalar path bit-identically).
+    network.enable_fast_dissem(config.stream_config())
     driver.start()
 
     events.run(max_events=config.max_events, stop_when=lambda: tracker.complete)
@@ -196,6 +200,9 @@ def run_protocol_detailed(
         instr.phase(events.now, "session.drained")
     if tracer is not None:
         tracer.finish(events.now)
+    # Refund fast-path hop/drop charges whose scalar transmit event
+    # would have fallen after the drain cutoff.
+    network.finalize_fast_dissem(events.now)
     liveness = None
     if injector is not None:
         # The hardened-recovery invariant: a faulted run may abandon,

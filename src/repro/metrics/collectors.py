@@ -38,6 +38,42 @@ class BandwidthLedger:
     def charge_drop(self, kind: PacketKind) -> None:
         self.drops_by_kind[kind] += 1
 
+    def charge_hops(self, kind: PacketKind, n: int) -> None:
+        """Charge ``n`` link traversals at once (array dissemination
+        path; must equal ``n`` scalar :meth:`charge_hop` calls)."""
+        if n < 0:
+            raise ValueError(f"cannot charge {n} hops")
+        self.hops_by_kind[kind] += n
+
+    def charge_drops(self, kind: PacketKind, n: int) -> None:
+        """Charge ``n`` loss-process drops at once."""
+        if n < 0:
+            raise ValueError(f"cannot charge {n} drops")
+        self.drops_by_kind[kind] += n
+
+    def refund_hops(self, kind: PacketKind, n: int) -> None:
+        """Return ``n`` pre-charged hops (fast-path transmissions whose
+        link traversal would have happened after a drain cutoff the
+        scalar path stops charging at)."""
+        if n < 0:
+            raise ValueError(f"cannot refund {n} hops")
+        if n > self.hops_by_kind[kind]:
+            raise ValueError(
+                f"refund of {n} {kind} hops exceeds charged total"
+            )
+        self.hops_by_kind[kind] -= n
+
+    def refund_drops(self, kind: PacketKind, n: int) -> None:
+        """Return ``n`` pre-charged drops (same drain-cutoff
+        reconciliation as :meth:`refund_hops`)."""
+        if n < 0:
+            raise ValueError(f"cannot refund {n} drops")
+        if n > self.drops_by_kind[kind]:
+            raise ValueError(
+                f"refund of {n} {kind} drops exceeds charged total"
+            )
+        self.drops_by_kind[kind] -= n
+
     @property
     def recovery_hops(self) -> int:
         """Total hops of recovery traffic (the figures' numerator)."""

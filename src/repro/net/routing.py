@@ -296,11 +296,12 @@ class LandmarkDistanceBackend:
       is a landmark or both lie on one landmark's tree path.
 
     Estimates never fall below the true distance (both tiers are exact
-    or upper bounds).  Paths are real walks in the graph: the root paths
-    of ``u`` and ``v`` in the best landmark's shortest-path tree,
-    spliced at their first shared node (the near tier refines distance
-    estimates only, not walks — a near-tier pair's walk delay may exceed
-    its estimate).
+    or upper bounds).  Paths are real walks in the graph: an in-ball
+    pair walks the ball owner's truncated shortest-path tree — an exact
+    shortest path, identical to the exact backend's — and everything
+    beyond the balls splices the root paths of ``u`` and ``v`` in the
+    best landmark's shortest-path tree at their first shared node (an
+    upper-bound walk whose delay may exceed the pair's estimate).
 
     Memory: ``L`` distance + predecessor rows (``16·L·V`` bytes) plus
     the near-tier CSR (``<= 32·near_k·V`` bytes) plus an LRU of
@@ -385,10 +386,19 @@ class LandmarkDistanceBackend:
 
         One truncated Dijkstra per node (it stops after ``k`` settles,
         so the recorded distances are exact and bit-identical to the
-        full run's — same heap entries, same pop order).  The directed
-        results are then symmetrized into one CSR structure, keeping the
-        smaller value when both directions discovered a pair (reversed
-        path sums may differ by an ULP).
+        full run's — same heap entries, same pop order).  Predecessors
+        are tracked with :func:`_dijkstra`'s exact tie-break (tentative
+        assignment, equal-cost smaller-id adoption); every equal-cost
+        relaxer of a settled node is strictly closer and therefore also
+        settles before the break, so the recorded predecessor of every
+        ball member is identical to the full run's.  That makes in-ball
+        ``path()`` walks exact, not just in-ball distances.
+
+        The directed results are kept as a per-source CSR (for the
+        predecessor walks) and also symmetrized into one CSR structure
+        for distance overlays, keeping the smaller value when both
+        directions discovered a pair (reversed path sums may differ by
+        an ULP).
         """
         topo = self._topology
         n = topo.num_nodes
@@ -396,6 +406,9 @@ class LandmarkDistanceBackend:
             self._near_indptr = np.zeros(n + 1, dtype=np.int64)
             self._near_cols = np.zeros(0, dtype=np.int64)
             self._near_dist = np.zeros(0, dtype=np.float64)
+            self._ball_indptr = np.zeros(n + 1, dtype=np.int64)
+            self._ball_cols = np.zeros(0, dtype=np.int64)
+            self._ball_pred = np.zeros(0, dtype=np.int64)
             return
         adj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
         for link in topo.links:
@@ -404,10 +417,12 @@ class LandmarkDistanceBackend:
         srcs: list[int] = []
         dsts: list[int] = []
         vals: list[float] = []
+        preds: list[int] = []
         heappush, heappop = heapq.heappush, heapq.heappop
         inf = math.inf
         for source in range(n):
             best = {source: 0.0}
+            pred = {source: -1}
             done: set[int] = set()
             heap = [(0.0, source)]
             found = 0
@@ -420,18 +435,35 @@ class LandmarkDistanceBackend:
                     srcs.append(source)
                     dsts.append(node)
                     vals.append(d)
+                    preds.append(pred[node])
                     found += 1
                     if found == k:
                         break
                 for nb, w in adj[node]:
                     if nb not in done:
                         nd = d + w
-                        if nd < best.get(nb, inf):
+                        b = best.get(nb, inf)
+                        if nd < b:
                             best[nb] = nd
+                            pred[nb] = node
                             heappush(heap, (nd, nb))
+                        elif nd == b and node < pred[nb]:
+                            pred[nb] = node
         src = np.asarray(srcs, dtype=np.int64)
         dst = np.asarray(dsts, dtype=np.int64)
         val = np.asarray(vals, dtype=np.float64)
+        # Directed per-source CSR with predecessors: sources were
+        # visited in ascending order, so only an in-row sort is needed.
+        dorder = np.lexsort((dst, src))
+        ball_cols = dst[dorder]
+        ball_pred = np.asarray(preds, dtype=np.int64)[dorder]
+        ball_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src[dorder], minlength=n), out=ball_indptr[1:])
+        for arr in (ball_indptr, ball_cols, ball_pred):
+            arr.flags.writeable = False
+        self._ball_indptr = ball_indptr
+        self._ball_cols = ball_cols
+        self._ball_pred = ball_pred
         rows = np.concatenate([src, dst])
         cols = np.concatenate([dst, src])
         both = np.concatenate([val, val])
@@ -501,10 +533,44 @@ class LandmarkDistanceBackend:
         self._check(v)
         return int(np.argmin(self._dist[:, u] + self._dist[:, v]))
 
+    def _ball_walk(self, source: int, target: int) -> list[int] | None:
+        """Exact ``source -> target`` path along ``source``'s truncated
+        shortest-path tree, or ``None`` when ``target`` is outside the
+        ball.  Bit-identical to the exact backend's walk (same
+        predecessors, see :meth:`_build_near_tier`)."""
+        lo = int(self._ball_indptr[source])
+        hi = int(self._ball_indptr[source + 1])
+        if lo == hi:
+            return None
+        cols = self._ball_cols[lo:hi]
+        preds = self._ball_pred[lo:hi]
+        walk = [target]
+        cur = target
+        while cur != source:
+            i = int(np.searchsorted(cols, cur))
+            if i >= cols.size or cols[i] != cur:
+                return None
+            cur = int(preds[i])
+            walk.append(cur)
+        walk.reverse()
+        return walk
+
     def path(self, u: int, v: int) -> list[int]:
         if u == v:
             self._check(u)
             return [u]
+        self._check(u)
+        self._check(v)
+        # Near tier first: when either endpoint lies in the other's
+        # ball the walk is a true shortest path (u's tree preferred so
+        # the result matches the exact backend's u-rooted walk).
+        walk = self._ball_walk(u, v)
+        if walk is not None:
+            return walk
+        walk = self._ball_walk(v, u)
+        if walk is not None:
+            walk.reverse()
+            return walk
         best = self.best_landmark(u, v)
         dist = self._dist[best]
         if math.isinf(dist[u]) or math.isinf(dist[v]):

@@ -230,13 +230,13 @@ class EventQueue:
             if until is not None and self._heap[0].time > until:
                 self._now = until
                 return
-            if not self.step():
-                break
-            executed += 1
-            if max_events is not None and executed > max_events:
+            if max_events is not None and executed >= max_events:
                 raise RuntimeError(
                     f"event budget exceeded ({max_events} events) at t={self._now}"
                 )
+            if not self.step():
+                break
+            executed += 1
             if stop_when is not None and stop_when():
                 return
         # Fully drained: every cancelled timer must have been popped or

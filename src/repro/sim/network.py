@@ -24,11 +24,31 @@ Agents (protocol endpoints) register per node; intermediate routers
 forward without an agent.  Deliveries never happen synchronously inside
 the sender's call — everything is mediated by the event queue, so
 protocol code observes a consistent clock.
+
+**Array dissemination fast path.**  When the experiment runner calls
+:meth:`SimNetwork.enable_fast_dissem` and the run has load-independent
+links (no jitter, no congestion, no faults, no link observers, no
+enabled profiler), eligible disseminations are computed in numpy via
+:mod:`repro.sim.dissem` and only the O(agents) deliveries are scheduled
+as events, instead of one event per link traversal.  The fast path is
+bit-identical to the scalar path — same RNG consumption, same arrival
+times, same ledger totals (an in-flight registry refunds hops/drops the
+scalar path would not have charged before the drain cutoff) — and every
+ineligible call falls back to the scalar path below.  Kill switch:
+``REPRO_FAST_DISSEM=0``.
+
+The scalar path itself is closure-free: reusable transit objects step
+cached int-array paths (an LRU of routed paths — client↔peer pairs
+repeat heavily) and cached per-node ``(child, link)`` arrays, replacing
+the per-hop lambda chains.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from collections import OrderedDict
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
@@ -36,6 +56,7 @@ import numpy as np
 from repro.net.mcast_tree import MulticastTree
 from repro.net.routing import RoutingTable
 from repro.net.topology import Link, Topology
+from repro.sim import dissem as dissem_mod
 from repro.sim.engine import EventQueue
 from repro.sim.packet import Packet, PacketKind
 from repro.sim.trace import TraceEvent, TraceKind
@@ -43,7 +64,18 @@ from repro.sim.trace import TraceEvent, TraceKind
 if TYPE_CHECKING:  # pragma: no cover - import cycle breaker
     from repro.metrics.collectors import BandwidthLedger
     from repro.obs.profiler import Profiler
+    from repro.protocols.base import StreamConfig
     from repro.sim.faults import FaultInjector
+
+#: Environment kill switch for the array dissemination fast path.
+FAST_DISSEM_ENV = "REPRO_FAST_DISSEM"
+
+#: Routed-path LRU capacity (entries).  Recovery traffic concentrates
+#: on client↔peer and client↔source pairs, which repeat heavily.
+PATH_CACHE_SIZE = 65536
+
+#: Tree access-leg LRU capacity (entries).
+LEG_CACHE_SIZE = 8192
 
 
 class Agent(Protocol):
@@ -51,6 +83,157 @@ class Agent(Protocol):
 
     def on_packet(self, packet: Packet) -> None:  # pragma: no cover - protocol
         ...
+
+
+class _RoutedPath:
+    """A cached unicast route: nodes, links and per-hop delays."""
+
+    __slots__ = ("nodes", "links", "delays", "lossless")
+
+    def __init__(self, topology: Topology, nodes: list[int]):
+        self.nodes = tuple(nodes)
+        links = tuple(
+            topology.link_between(nodes[i], nodes[i + 1])
+            for i in range(len(nodes) - 1)
+        )
+        self.links = links
+        self.delays = [link.delay for link in links]
+        self.lossless = all(link.loss_prob == 0.0 for link in links)
+
+
+class _UnicastTransit:
+    """Closure-free hop walker for a unicast journey.
+
+    One instance per send; it is its own arrival callback and steps the
+    cached path — same per-hop transmit/deliver order as the old
+    ``hop(index)`` closure chain, without allocating a lambda per hop.
+    """
+
+    __slots__ = ("_network", "_path", "_packet", "_index")
+
+    def __init__(self, network: "SimNetwork", path: _RoutedPath, packet: Packet):
+        self._network = network
+        self._path = path
+        self._packet = packet
+        self._index = 0
+
+    def __call__(self) -> None:
+        network = self._network
+        path = self._path
+        i = self._index
+        if i == len(path.nodes) - 1:
+            network._deliver(path.nodes[i], self._packet)
+            return
+        self._index = i + 1
+        network._transmit(path.links[i], path.nodes[i + 1], self._packet, self)
+
+
+class _LegTransit:
+    """Closure-free walker for a multicast access leg: carries the
+    packet along the tree path to the subtree root, then delivers there
+    and cascades down."""
+
+    __slots__ = ("_network", "_path", "_packet", "_index")
+
+    def __init__(self, network: "SimNetwork", path: _RoutedPath, packet: Packet):
+        self._network = network
+        self._path = path
+        self._packet = packet
+        self._index = 0
+
+    def __call__(self) -> None:
+        network = self._network
+        path = self._path
+        i = self._index
+        if i == len(path.nodes) - 1:
+            node = path.nodes[i]
+            network._deliver(node, self._packet)
+            network._cascade_down(node, self._packet)
+            return
+        self._index = i + 1
+        network._transmit(path.links[i], path.nodes[i + 1], self._packet, self)
+
+
+class _CascadeArrival:
+    """Arrival of one downstream multicast copy: deliver, then copy to
+    the children (replaces the per-child ``arrive`` lambdas)."""
+
+    __slots__ = ("_network", "_node", "_packet")
+
+    def __init__(self, network: "SimNetwork", node: int, packet: Packet):
+        self._network = network
+        self._node = node
+        self._packet = packet
+
+    def __call__(self) -> None:
+        self._network._deliver(self._node, self._packet)
+        self._network._cascade_down(self._node, self._packet)
+
+
+class _FloodArrival:
+    """Arrival of one flood copy: deliver, then spread everywhere but
+    back where it came from."""
+
+    __slots__ = ("_network", "_node", "_came_from", "_packet")
+
+    def __init__(
+        self, network: "SimNetwork", node: int, came_from: int, packet: Packet
+    ):
+        self._network = network
+        self._node = node
+        self._came_from = came_from
+        self._packet = packet
+
+    def __call__(self) -> None:
+        self._network._deliver(self._node, self._packet)
+        self._network._flood_spread(self._node, self._came_from, self._packet)
+
+
+class _FastDissem:
+    """Per-run state of the array dissemination fast path."""
+
+    #: DATA/SESSION plan states.
+    PENDING, ON, OFF = 0, 1, 2
+
+    __slots__ = (
+        "num_packets",
+        "data_interval",
+        "session_interval",
+        "dissem",
+        "agent_pos",
+        "scratch",
+        "data_state",
+        "data_plan",
+        "session_state",
+        "inflight",
+    )
+
+    def __init__(
+        self, num_packets: int, data_interval: float, session_interval: float
+    ):
+        self.num_packets = num_packets
+        self.data_interval = data_interval
+        self.session_interval = session_interval
+        self.dissem: dissem_mod.TreeDissem | None = None
+        self.agent_pos: np.ndarray | None = None
+        self.scratch: np.ndarray | None = None
+        self.data_state = self.PENDING
+        self.data_plan: dissem_mod.DataPlan | None = None
+        self.session_state = self.PENDING
+        # Hop/drop charge times of every fast transmission, by kind —
+        # reconciled against the drain cutoff in finalize_fast_dissem.
+        self.inflight: list[tuple[PacketKind, np.ndarray, np.ndarray | None]] = []
+
+    def ensure(self, tree: MulticastTree, agents: dict[int, Agent]):
+        if self.dissem is None:
+            self.dissem = dissem_mod.TreeDissem(tree)
+            pos = self.dissem.pos_of_node
+            self.agent_pos = np.asarray(
+                sorted(int(pos[n]) for n in agents if pos[n] >= 0),
+                dtype=np.int64,
+            )
+            self.scratch = np.empty(self.dissem.num_members, dtype=np.float64)
+        return self.dissem
 
 
 class SimNetwork:
@@ -123,6 +306,13 @@ class SimNetwork:
         # list keeps every emission site at one truthiness test, so an
         # unobserved run constructs no events at all.
         self._link_observers: list[Callable[[TraceEvent], None]] = []
+        # Array dissemination fast path; armed by enable_fast_dissem.
+        self._fast: _FastDissem | None = None
+        # LRUs of routed unicast paths and tree access legs (both as
+        # _RoutedPath records), shared by the scalar transits and the
+        # fast path's delay prefixes.
+        self._path_cache: OrderedDict[tuple[int, int], _RoutedPath] = OrderedDict()
+        self._leg_cache: OrderedDict[tuple[int, int], _RoutedPath] = OrderedDict()
 
     # -- link observers ---------------------------------------------------
 
@@ -184,6 +374,275 @@ class SimNetwork:
                 # node is unaffected — routers did not crash.)
                 return
             agent.on_packet(packet)
+
+    # -- path caches -----------------------------------------------------
+
+    def _routed_path(self, src: int, dst: int) -> _RoutedPath:
+        cache = self._path_cache
+        key = (src, dst)
+        entry = cache.get(key)
+        if entry is None:
+            entry = _RoutedPath(self.topology, self.routing.path(src, dst))
+            cache[key] = entry
+            if len(cache) > PATH_CACHE_SIZE:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+        return entry
+
+    def _tree_leg(self, src: int, subtree_root: int) -> _RoutedPath:
+        cache = self._leg_cache
+        key = (src, subtree_root)
+        entry = cache.get(key)
+        if entry is None:
+            entry = _RoutedPath(
+                self.topology, self.tree.tree_path(src, subtree_root)
+            )
+            cache[key] = entry
+            if len(cache) > LEG_CACHE_SIZE:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+        return entry
+
+    # -- array dissemination fast path -----------------------------------
+
+    def enable_fast_dissem(self, stream: "StreamConfig") -> bool:
+        """Arm the array dissemination fast path for a runner-driven
+        session.
+
+        Eligibility (checked here once): the kill switch is not set and
+        links are load-independent — no jitter, no congestion model, no
+        fault injector, no enabled profiler (it counts per-transmit
+        scopes).  Per-call conditions (observers, draw-freedom, exact
+        event-time ties) are checked at each send and fall back to the
+        scalar path.  Only the runner calls this; directly constructed
+        networks keep the scalar path throughout.
+        """
+        self._fast = None
+        if os.environ.get(FAST_DISSEM_ENV, "1") == "0":
+            return False
+        if self._jitter > 0.0 or self._congestion is not None:
+            return False
+        if self._faults is not None:
+            return False
+        if self._profiler is not None and self._profiler.enabled:
+            return False
+        self._fast = _FastDissem(
+            stream.num_packets, stream.data_interval, stream.session_interval
+        )
+        return True
+
+    @property
+    def fast_dissem_enabled(self) -> bool:
+        return self._fast is not None
+
+    def finalize_fast_dissem(self, now: float) -> None:
+        """Reconcile fast-path charges against the drain cutoff.
+
+        The scalar path charges each hop/drop when its transmit event
+        fires; events strictly after the final ``run(until=now)`` cutoff
+        never fire and are never charged.  The fast path charged whole
+        journeys at send time, recording each charge's would-be event
+        time — refund the ones the scalar path would not have made.
+        """
+        fast = self._fast
+        if fast is None:
+            return
+        for kind, hop_times, drop_times in fast.inflight:
+            late = int(np.count_nonzero(hop_times > now))
+            if late:
+                self.ledger.refund_hops(kind, late)
+            if drop_times is not None:
+                late_drops = int(np.count_nonzero(drop_times > now))
+                if late_drops:
+                    self.ledger.refund_drops(kind, late_drops)
+        fast.inflight.clear()
+
+    def _apply_fast(
+        self,
+        packet: Packet,
+        deliver_nodes,
+        deliver_times,
+        hop_times: np.ndarray,
+        drop_times: np.ndarray | None,
+    ) -> None:
+        """Charge a resolved dissemination and schedule its deliveries."""
+        self.ledger.charge_hops(packet.kind, int(hop_times.size))
+        if drop_times is not None and drop_times.size:
+            self.ledger.charge_drops(packet.kind, int(drop_times.size))
+        self._fast.inflight.append((packet.kind, hop_times, drop_times))
+        schedule_at = self.events.schedule_at
+        deliver = self._deliver
+        for node, when in zip(deliver_nodes, deliver_times):
+            schedule_at(when, partial(deliver, node, packet))
+
+    def _try_fast_data(self, packet: Packet) -> bool:
+        fast = self._fast
+        if fast.data_state == _FastDissem.OFF:
+            return False
+        root = self.tree.root
+        if fast.data_state == _FastDissem.PENDING:
+            # Decide — and, on success, consume the whole DATA loss lane
+            # in merged event order — strictly before the first draw.
+            dissem = fast.ensure(self.tree, self._agents)
+            if packet != Packet(PacketKind.DATA, 0, origin=root) or (
+                dissem.num_lossy and self._data_loss_rng is self._loss_rng
+            ):
+                # Not the stream driver's pattern, or DATA shares the
+                # loss lane with recovery traffic (whole-lane precompute
+                # would steal recovery draws).
+                fast.data_state = _FastDissem.OFF
+                return False
+            plan = dissem_mod.build_data_plan(
+                dissem,
+                self.events.now,
+                fast.num_packets,
+                fast.data_interval,
+                self._data_loss_rng,
+                fast.agent_pos[fast.agent_pos > 0],
+            )
+            if plan is None:  # exact event-time tie; nothing consumed
+                fast.data_state = _FastDissem.OFF
+                return False
+            fast.data_plan = plan
+            fast.data_state = _FastDissem.ON
+        plan = fast.data_plan
+        k = plan.next_seq
+        if (
+            k >= fast.num_packets
+            or packet != Packet(PacketKind.DATA, k, origin=root)
+            or self.events.now != plan.t0s[k]
+        ):
+            # The plan consumed the DATA lane for the stream driver's
+            # exact send pattern; a divergent caller cannot be replayed.
+            raise RuntimeError(
+                "fast DATA dissemination diverged from the stream driver "
+                f"(send {k}, t={self.events.now}, packet={packet})"
+            )
+        plan.next_seq = k + 1
+        outcome = plan.cascades[k]
+        self._apply_fast(
+            packet,
+            outcome.deliver_nodes.tolist(),
+            outcome.deliver_times.tolist(),
+            outcome.hop_times,
+            outcome.drop_times,
+        )
+        return True
+
+    def _try_fast_session(self, packet: Packet) -> bool:
+        fast = self._fast
+        if fast.session_state == _FastDissem.OFF:
+            return False
+        root = self.tree.root
+        expected = Packet(
+            PacketKind.SESSION, 0, origin=root,
+            highest_seq=fast.num_packets - 1,
+        )
+        dissem = fast.ensure(self.tree, self._agents)
+        if packet != expected or (
+            dissem.num_lossy and not self._lossless_recovery
+        ):
+            # With a lossy tree and recovery traffic sharing the loss
+            # lane, per-send precompute would reorder draws.
+            fast.session_state = _FastDissem.OFF
+            return False
+        outcome = dissem_mod.build_session_cascade(
+            dissem,
+            self.events.now,
+            fast.session_interval,
+            self._loss_rng,
+            fast.agent_pos[fast.agent_pos > 0],
+            draws=True,
+        )
+        if outcome is None:
+            # Overlapping cascades or an exact tie: nothing was
+            # consumed, but the fallback must be permanent — a later
+            # fast cascade would draw ahead of this scalar one's tail.
+            fast.session_state = _FastDissem.OFF
+            return False
+        fast.session_state = _FastDissem.ON
+        self._apply_fast(
+            packet,
+            outcome.deliver_nodes.tolist(),
+            outcome.deliver_times.tolist(),
+            outcome.hop_times,
+            outcome.drop_times,
+        )
+        return True
+
+    def _try_fast_subtree(
+        self, src: int, subtree_root: int, packet: Packet
+    ) -> bool:
+        """Draw-free repair-style multicast: access leg + subtree copy
+        resolved in one pass.  Scalar fallback whenever any traversed
+        link would draw."""
+        fast = self._fast
+        dissem = fast.ensure(self.tree, self._agents)
+        exempt = self._lossless_recovery and packet.is_recovery_traffic
+        p0 = int(dissem.pos_of_node[subtree_root])
+        if not exempt and not dissem.subtree_is_lossless(p0):
+            return False
+        now = self.events.now
+        leg_times: list[float] = []
+        if src != subtree_root:
+            leg = self._tree_leg(src, subtree_root)
+            if not exempt and not leg.lossless:
+                return False
+            t = now
+            for d in leg.delays:
+                leg_times.append(t)
+                t = t + d
+            t_root = t
+        else:
+            t_root = now
+        scratch = fast.scratch
+        dissem_mod.subtree_arrivals(dissem, p0, t_root, scratch)
+        size = int(dissem.size_pos[p0])
+        inner = np.arange(p0 + 1, p0 + size, dtype=np.int64)
+        hop_times = scratch[dissem.parent_pos[inner]]
+        if leg_times:
+            hop_times = np.concatenate(
+                (np.asarray(leg_times, dtype=np.float64), hop_times)
+            )
+        agent_pos = fast.agent_pos
+        lo = int(np.searchsorted(agent_pos, p0 + 1))
+        hi = int(np.searchsorted(agent_pos, p0 + size))
+        reached = agent_pos[lo:hi]
+        nodes = dissem.order[reached].tolist()
+        times = scratch[reached].tolist()
+        if src != subtree_root and subtree_root in self._agents:
+            # The subtree root is delivered at the end of the access
+            # leg (before its descendants — scalar order).
+            nodes.insert(0, subtree_root)
+            times.insert(0, t_root)
+        self._apply_fast(packet, nodes, times, hop_times, None)
+        return True
+
+    def _try_fast_flood(self, src: int, packet: Packet) -> bool:
+        """Draw-free tree flood resolved in one pass."""
+        fast = self._fast
+        dissem = fast.ensure(self.tree, self._agents)
+        exempt = self._lossless_recovery and packet.is_recovery_traffic
+        if not exempt and dissem.num_lossy:
+            return False
+        src_pos = int(dissem.pos_of_node[src])
+        arrivals, pred = dissem_mod.flood_arrivals(
+            dissem, src_pos, self.events.now
+        )
+        edges = np.flatnonzero(pred >= 0)
+        hop_times = arrivals[pred[edges]]
+        agent_pos = fast.agent_pos
+        reached = agent_pos[agent_pos != src_pos]
+        self._apply_fast(
+            packet,
+            dissem.order[reached].tolist(),
+            arrivals[reached].tolist(),
+            hop_times,
+            None,
+        )
+        return True
 
     # -- link-level primitive ------------------------------------------------
 
@@ -293,20 +752,37 @@ class SimNetwork:
                 # receiver's only signal is its own timeout.
                 return
         if src == dst:
-            self.events.schedule(0.0, lambda: self._deliver(dst, packet))
+            self.events.schedule(0.0, partial(self._deliver, dst, packet))
             return
-        path = self.routing.path(src, dst)
-
-        def hop(index: int) -> None:
-            if index == len(path) - 1:
-                self._deliver(path[index], packet)
-                return
-            link = self.topology.link_between(path[index], path[index + 1])
-            self._transmit(link, path[index + 1], packet, lambda: hop(index + 1))
-
-        hop(0)
+        path = self._routed_path(src, dst)
+        if (
+            self._fast is not None
+            and not self._link_observers
+            and (
+                path.lossless
+                or (self._lossless_recovery and packet.is_recovery_traffic)
+            )
+        ):
+            # Draw-free journey: one arrival event instead of one per
+            # hop; per-hop transmit times recorded for drain refunds.
+            t = self.events.now
+            hop_times = np.empty(len(path.delays), dtype=np.float64)
+            for i, d in enumerate(path.delays):
+                hop_times[i] = t
+                t = t + d
+            self._apply_fast(packet, (dst,), (t,), hop_times, None)
+            return
+        _UnicastTransit(self, path, packet)()
 
     # -- tree multicast -----------------------------------------------------------
+
+    def _cascade_down(self, node: int, packet: Packet) -> None:
+        """Copy ``packet`` to every child of ``node``, continuing down
+        recursively via :class:`_CascadeArrival` events."""
+        for child, link in self.tree.children_with_links(node):
+            self._transmit(
+                link, child, packet, _CascadeArrival(self, child, packet)
+            )
 
     def multicast_subtree(
         self, src: int, subtree_root: int, packet: Packet
@@ -325,34 +801,29 @@ class SimNetwork:
             src, packet, self.events.now
         ):
             return
-
-        def down(node: int) -> None:
-            for child in self.tree.children(node):
-                link = self.topology.link_between(node, child)
-
-                def arrive(child: int = child) -> None:
-                    self._deliver(child, packet)
-                    down(child)
-
-                self._transmit(link, child, packet, arrive)
-
-        if src == subtree_root:
-            down(src)
-            return
-
-        access_path = self.tree.tree_path(src, subtree_root)
-
-        def hop(index: int) -> None:
-            node = access_path[index]
-            if index == len(access_path) - 1:
-                self._deliver(node, packet)
-                down(node)
+        if self._fast is not None and not self._link_observers:
+            from_root = src == subtree_root == self.tree.root
+            if packet.kind is PacketKind.DATA and from_root:
+                if self._try_fast_data(packet):
+                    return
+            elif packet.kind is PacketKind.SESSION and from_root:
+                if self._try_fast_session(packet):
+                    return
+            elif self._try_fast_subtree(src, subtree_root, packet):
                 return
-            nxt = access_path[index + 1]
-            link = self.topology.link_between(node, nxt)
-            self._transmit(link, nxt, packet, lambda: hop(index + 1))
+        if src == subtree_root:
+            self._cascade_down(src, packet)
+            return
+        _LegTransit(self, self._tree_leg(src, subtree_root), packet)()
 
-        hop(0)
+    def _flood_spread(self, node: int, came_from: int, packet: Packet) -> None:
+        for neighbor, link in self.tree.flood_neighbors(node):
+            if neighbor == came_from:
+                continue
+            self._transmit(
+                link, neighbor, packet,
+                _FloodArrival(self, neighbor, node, packet),
+            )
 
     def flood_tree(self, src: int, packet: Packet) -> None:
         """Any-source group multicast: spread over every tree link
@@ -363,21 +834,7 @@ class SimNetwork:
             src, packet, self.events.now
         ):
             return
-
-        def spread(node: int, came_from: int) -> None:
-            neighbors = list(self.tree.children(node))
-            parent = self.tree.parent(node)
-            if parent is not None:
-                neighbors.append(parent)
-            for neighbor in neighbors:
-                if neighbor == came_from:
-                    continue
-                link = self.topology.link_between(node, neighbor)
-
-                def arrive(neighbor: int = neighbor, node: int = node) -> None:
-                    self._deliver(neighbor, packet)
-                    spread(neighbor, node)
-
-                self._transmit(link, neighbor, packet, arrive)
-
-        spread(src, -1)
+        if self._fast is not None and not self._link_observers:
+            if self._try_fast_flood(src, packet):
+                return
+        self._flood_spread(src, -1, packet)

@@ -36,6 +36,49 @@ class TestBandwidthLedger:
         assert ledger.drops_by_kind[PacketKind.DATA] == 2
         assert ledger.total_drops == 3
 
+    def test_batch_charges_equal_scalar_charges(self):
+        scalar = BandwidthLedger()
+        for _ in range(7):
+            scalar.charge_hop(PacketKind.REPAIR)
+        for _ in range(3):
+            scalar.charge_drop(PacketKind.DATA)
+        batch = BandwidthLedger()
+        batch.charge_hops(PacketKind.REPAIR, 7)
+        batch.charge_drops(PacketKind.DATA, 3)
+        assert batch == scalar
+
+    def test_batch_charge_of_zero_is_a_noop(self):
+        ledger = BandwidthLedger()
+        ledger.charge_hops(PacketKind.DATA, 0)
+        ledger.charge_drops(PacketKind.DATA, 0)
+        assert ledger == BandwidthLedger()
+
+    def test_negative_batch_charges_rejected(self):
+        ledger = BandwidthLedger()
+        with pytest.raises(ValueError):
+            ledger.charge_hops(PacketKind.DATA, -1)
+        with pytest.raises(ValueError):
+            ledger.charge_drops(PacketKind.DATA, -1)
+
+    def test_refunds_reverse_charges(self):
+        ledger = BandwidthLedger()
+        ledger.charge_hops(PacketKind.SESSION, 10)
+        ledger.charge_drops(PacketKind.SESSION, 4)
+        ledger.refund_hops(PacketKind.SESSION, 3)
+        ledger.refund_drops(PacketKind.SESSION, 1)
+        assert ledger.hops_by_kind[PacketKind.SESSION] == 7
+        assert ledger.drops_by_kind[PacketKind.SESSION] == 3
+
+    def test_refund_cannot_exceed_charged_total(self):
+        ledger = BandwidthLedger()
+        ledger.charge_hops(PacketKind.NACK, 2)
+        with pytest.raises(ValueError, match="exceeds charged total"):
+            ledger.refund_hops(PacketKind.NACK, 3)
+        with pytest.raises(ValueError, match="exceeds charged total"):
+            ledger.refund_drops(PacketKind.NACK, 1)
+        with pytest.raises(ValueError):
+            ledger.refund_hops(PacketKind.NACK, -1)
+
 
 class TestRecoveryLog:
     def test_detection_then_recovery(self):

@@ -305,6 +305,70 @@ class TestNearTier:
             LandmarkDistanceBackend(topo, near_k=-1)
 
 
+class TestNearTierPaths:
+    """In-ball ``path()`` walks are exact — not just in-ball distances."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1_000))
+    def test_full_ball_paths_equal_exact_backend(self, seed):
+        # near_k >= n-1 puts every pair in every ball: each walk must be
+        # the exact backend's walk node for node (same truncated-Dijkstra
+        # predecessors, same tie-break).
+        topo = random_backbone(
+            TopologyConfig(num_routers=25), np.random.default_rng(seed)
+        )
+        exact = ExactDistanceBackend(topo)
+        landmark = LandmarkDistanceBackend(
+            topo, num_landmarks=2, near_k=topo.num_nodes - 1
+        )
+        for u in range(0, topo.num_nodes, 4):
+            for v in range(0, topo.num_nodes, 3):
+                assert landmark.path(u, v) == exact.path(u, v)
+                if u != v:
+                    assert landmark.next_hop(u, v) == exact.next_hop(u, v)
+
+    def test_partial_ball_walks_are_shortest_paths(self):
+        topo = random_backbone(
+            TopologyConfig(num_routers=40), np.random.default_rng(13)
+        )
+        exact = ExactDistanceBackend(topo)
+        landmark = LandmarkDistanceBackend(topo, num_landmarks=3, near_k=6)
+        indptr, cols, _ = landmark.near_csr()
+        checked = 0
+        for u in range(topo.num_nodes):
+            true_row = exact.distances_from(u)
+            for v in cols[indptr[u] : indptr[u + 1]]:
+                path = landmark.path(u, int(v))
+                assert path[0] == u and path[-1] == v
+                walk = sum(
+                    topo.link_between(a, b).delay
+                    for a, b in zip(path, path[1:])
+                )
+                # The symmetrized ball may route this pair through the
+                # other direction's tree; both are exact up to an ULP.
+                assert walk == pytest.approx(float(true_row[v]), rel=1e-9)
+                checked += 1
+        assert checked > 0
+
+    def test_out_of_ball_pairs_still_splice_via_landmarks(self):
+        topo = random_backbone(
+            TopologyConfig(num_routers=40), np.random.default_rng(13)
+        )
+        exact = ExactDistanceBackend(topo)
+        bare = LandmarkDistanceBackend(topo, num_landmarks=3, near_k=0)
+        for u in range(0, topo.num_nodes, 7):
+            for v in range(0, topo.num_nodes, 5):
+                if u == v:
+                    continue
+                path = bare.path(u, v)
+                assert path[0] == u and path[-1] == v
+                walk = sum(
+                    topo.link_between(a, b).delay
+                    for a, b in zip(path, path[1:])
+                )
+                assert walk >= float(exact.distances_from(u)[v]) - 1e-9
+
+
 class TestRowCacheBounds:
     def test_exact_lru_evicts_beyond_max_rows(self):
         topo = random_backbone(

@@ -105,5 +105,14 @@ class TestDeterminism:
     def test_instrumentation_does_not_perturb_the_run(self, run):
         artifacts, _, _ = run
         plain = run_protocol_detailed(build_scenario(CONFIG), RPProtocolFactory())
-        assert plain.summary == artifacts.summary
+        # events_processed is a harness metric, not a simulated outcome:
+        # the tracer's link observer makes the instrumented run take the
+        # scalar dissemination path (one event per hop) where the plain
+        # run takes the array fast path (one event per delivery).  Every
+        # simulated quantity must still match exactly.
+        import dataclasses
+
+        assert dataclasses.replace(
+            plain.summary, events_processed=artifacts.summary.events_processed
+        ) == artifacts.summary
         assert plain.obs is None

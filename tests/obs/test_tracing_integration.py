@@ -196,7 +196,15 @@ class TestDeterminism:
         traced = run_protocol_detailed(
             built, RPProtocolFactory(), instrumentation=instr
         )
-        assert traced.summary == baseline.summary
+        # events_processed is a harness metric: the tracer's link
+        # observer keeps the traced run on the scalar dissemination
+        # path while the baseline takes the array fast path.  All
+        # simulated quantities must match exactly.
+        import dataclasses
+
+        assert dataclasses.replace(
+            traced.summary, events_processed=baseline.summary.events_processed
+        ) == baseline.summary
         assert traced.log.latencies() == baseline.log.latencies()
 
     def test_sampling_decision_consults_no_rng(self):

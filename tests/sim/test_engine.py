@@ -131,6 +131,28 @@ class TestRunControls:
         with pytest.raises(RuntimeError):
             q.run(max_events=100)
 
+    def test_max_events_budget_is_exact(self):
+        # Regression: the old guard (`executed > max_events`) let
+        # max_events + 1 events run before raising.
+        q = EventQueue()
+        fired = []
+        for i in range(10):
+            q.schedule(float(i + 1), lambda i=i: fired.append(i))
+        with pytest.raises(RuntimeError):
+            q.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+        assert q.processed == 4
+
+    def test_max_events_exactly_enough_completes(self):
+        # A queue holding exactly max_events events must drain cleanly.
+        q = EventQueue()
+        fired = []
+        for i in range(5):
+            q.schedule(float(i + 1), lambda i=i: fired.append(i))
+        q.run(max_events=5)
+        assert fired == [0, 1, 2, 3, 4]
+        assert q.processed == 5
+
     def test_stop_when_halts_early(self):
         q = EventQueue()
         fired = []

@@ -53,3 +53,25 @@ class TestStableKey:
 
     def test_fits_in_64_bits(self):
         assert 0 <= _stable_key("anything at all") < 2**64
+
+
+class TestChunkedDrawIdentity:
+    """The array dissemination fast path replaces ``k`` successive
+    ``rng.random()`` calls with one ``rng.random(k)``.  Its bit-identity
+    contract stands on these two facts about numpy's Generator; if a
+    numpy upgrade ever breaks them, this is the test that must fail."""
+
+    def test_chunked_equals_successive_scalars(self):
+        for size in (1, 2, 7, 64, 1000):
+            chunked = RngStreams(123).get("loss").random(size)
+            scalar_rng = RngStreams(123).get("loss")
+            scalars = [scalar_rng.random() for _ in range(size)]
+            assert list(chunked) == scalars
+
+    def test_stream_position_after_chunk_matches(self):
+        a = RngStreams(9).get("loss")
+        b = RngStreams(9).get("loss")
+        a.random(17)
+        for _ in range(17):
+            b.random()
+        assert a.random() == b.random()

@@ -1,0 +1,213 @@
+"""Fast-vs-scalar dissemination equivalence: the array fast path is
+bit-identical to the per-hop scalar path.
+
+The contract (see repro.sim.dissem): identical RNG consumption,
+identical arrival times, identical delivery sets, identical ledger
+totals.  ``events_processed`` is the one quantity that legitimately
+differs — the fast path schedules one event per delivery instead of one
+per link traversal — so every summary comparison here is modulo that
+counter, and everything else must match *exactly* (no tolerances).
+
+Gating is covered too: jitter, congestion, faults, an enabled profiler
+and the ``REPRO_FAST_DISSEM=0`` kill switch must each keep (or put) the
+run on the scalar path without changing any simulated quantity.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_scenario, run_protocol_detailed
+from repro.obs.instrumentation import Instrumentation
+from repro.protocols.naive import NearestPeerProtocolFactory
+from repro.protocols.rma import RMAProtocolFactory
+from repro.protocols.rp import RPProtocolFactory
+from repro.protocols.source import SourceProtocolFactory
+from repro.protocols.srm import SRMProtocolFactory
+from repro.sim.faults import CrashWindow, FaultSchedule
+from repro.sim.network import FAST_DISSEM_ENV
+
+FACTORIES = [
+    RPProtocolFactory,
+    SRMProtocolFactory,
+    RMAProtocolFactory,
+    SourceProtocolFactory,
+    NearestPeerProtocolFactory,
+]
+
+BASE = dict(seed=11, num_routers=30, loss_prob=0.08, num_packets=8)
+
+
+@pytest.fixture
+def dissem_env(monkeypatch):
+    """Force the fast path on (1) or off (0) for one run."""
+
+    def set_mode(on: bool) -> None:
+        monkeypatch.setenv(FAST_DISSEM_ENV, "1" if on else "0")
+
+    return set_mode
+
+
+def _run(factory, config, instrumentation=None, faults=None):
+    return run_protocol_detailed(
+        build_scenario(config), factory(),
+        instrumentation=instrumentation, faults=faults,
+    )
+
+
+def _comparable(artifacts):
+    """Everything that must match bit-for-bit, events_processed zeroed."""
+    summary = dataclasses.replace(artifacts.summary, events_processed=0)
+    return (
+        json.dumps(dataclasses.asdict(summary), sort_keys=True, default=str),
+        dict(artifacts.ledger.hops_by_kind),
+        dict(artifacts.ledger.drops_by_kind),
+        sorted(artifacts.log.latencies()),
+        artifacts.log.outstanding(),
+    )
+
+
+class TestAllProtocolsBitIdentical:
+    @pytest.mark.parametrize("factory", FACTORIES, ids=lambda f: f.name)
+    @pytest.mark.parametrize("lossless_recovery", [False, True])
+    def test_summary_and_ledger_match_scalar(
+        self, factory, lossless_recovery, dissem_env
+    ):
+        config = ScenarioConfig(**BASE, lossless_recovery=lossless_recovery)
+        dissem_env(False)
+        scalar = _run(factory, config)
+        dissem_env(True)
+        fast = _run(factory, config)
+        assert _comparable(fast) == _comparable(scalar)
+        # The fast path must actually have fired somewhere — otherwise
+        # this file tests nothing.  Under lossless_recovery every
+        # recovery journey collapses to one event per delivery.
+        if lossless_recovery:
+            assert (
+                fast.summary.events_processed
+                < scalar.summary.events_processed
+            )
+
+    @pytest.mark.parametrize("factory", [RPProtocolFactory, SRMProtocolFactory])
+    def test_telemetry_stream_matches_scalar(
+        self, factory, dissem_env, tmp_path
+    ):
+        config = ScenarioConfig(**BASE)
+        lines = {}
+        for mode in (False, True):
+            dissem_env(mode)
+            path = tmp_path / f"events_{mode}.jsonl"
+            instr = Instrumentation.recording(
+                jsonl_path=path, profile=False
+            )
+            _run(factory, config, instrumentation=instr)
+            instr.close()
+            lines[mode] = path.read_text().splitlines()
+        assert lines[True] == lines[False]
+
+    def test_overlapping_cascades_still_identical(self, dissem_env):
+        # data_interval far below the tree's delay span: consecutive
+        # DATA cascades interleave in time, exercising the merged-order
+        # whole-lane draw schedule rather than one cascade at a time.
+        config = ScenarioConfig(
+            seed=7, num_routers=60, loss_prob=0.1, num_packets=10,
+            data_interval=2.0,
+        )
+        dissem_env(False)
+        scalar = _run(RPProtocolFactory, config)
+        dissem_env(True)
+        fast = _run(RPProtocolFactory, config)
+        assert _comparable(fast) == _comparable(scalar)
+
+    def test_lossless_tree_collapses_every_multicast(self, dissem_env):
+        config = ScenarioConfig(**{**BASE, "loss_prob": 0.0})
+        dissem_env(False)
+        scalar = _run(SRMProtocolFactory, config)
+        dissem_env(True)
+        fast = _run(SRMProtocolFactory, config)
+        assert _comparable(fast) == _comparable(scalar)
+        assert fast.summary.events_processed < scalar.summary.events_processed
+
+
+class TestHypothesisSweep:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        loss=st.sampled_from([0.0, 0.02, 0.08, 0.15]),
+        lossless_recovery=st.booleans(),
+    )
+    def test_rp_bit_identity_over_seeds_and_loss(
+        self, seed, loss, lossless_recovery
+    ):
+        import os
+
+        config = ScenarioConfig(
+            seed=seed, num_routers=25, loss_prob=loss, num_packets=6,
+            lossless_recovery=lossless_recovery,
+        )
+        prior = os.environ.get(FAST_DISSEM_ENV)
+        try:
+            os.environ[FAST_DISSEM_ENV] = "0"
+            scalar = _run(RPProtocolFactory, config)
+            os.environ[FAST_DISSEM_ENV] = "1"
+            fast = _run(RPProtocolFactory, config)
+        finally:
+            if prior is None:
+                os.environ.pop(FAST_DISSEM_ENV, None)
+            else:
+                os.environ[FAST_DISSEM_ENV] = prior
+        assert _comparable(fast) == _comparable(scalar)
+
+
+class TestGatingFallbacks:
+    """Each ineligibility condition keeps the run scalar — and scalar
+    means *identical to the kill switch*, events_processed included."""
+
+    def _pair(self, dissem_env, config, **kw):
+        dissem_env(False)
+        off = _run(RPProtocolFactory, config, **kw)
+        dissem_env(True)
+        on = _run(RPProtocolFactory, config, **kw)
+        return off, on
+
+    def test_jitter_disables_fast_path(self, dissem_env):
+        config = ScenarioConfig(**BASE, jitter=0.05)
+        off, on = self._pair(dissem_env, config)
+        assert on.summary == off.summary  # events_processed included
+
+    def test_congestion_disables_fast_path(self, dissem_env):
+        config = ScenarioConfig(**BASE, congestion_alpha=0.01)
+        off, on = self._pair(dissem_env, config)
+        assert on.summary == off.summary
+
+    def test_faults_disable_fast_path(self, dissem_env):
+        schedule = FaultSchedule(crash_windows=(CrashWindow(0, 80.0, 120.0),))
+        config = ScenarioConfig(**BASE)
+        off, on = self._pair(dissem_env, config, faults=schedule)
+        assert on.summary == off.summary
+
+    def test_enabled_profiler_disables_fast_path(self, dissem_env):
+        config = ScenarioConfig(**BASE)
+        dissem_env(True)
+        instr = Instrumentation.recording(profile=True)
+        profiled = _run(RPProtocolFactory, config, instrumentation=instr)
+        dissem_env(False)
+        scalar = _run(RPProtocolFactory, config)
+        # The profiler's net.transmit scope counts every scalar hop, so
+        # the profiled run must take the scalar path event for event.
+        assert (
+            profiled.summary.events_processed
+            == scalar.summary.events_processed
+        )
+
+    def test_kill_switch_forces_scalar(self, dissem_env):
+        config = ScenarioConfig(**BASE)
+        dissem_env(True)
+        fast = _run(RPProtocolFactory, config)
+        dissem_env(False)
+        scalar = _run(RPProtocolFactory, config)
+        assert fast.summary.events_processed < scalar.summary.events_processed
+        assert _comparable(fast) == _comparable(scalar)
