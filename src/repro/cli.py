@@ -27,6 +27,12 @@ Subcommands cover the common workflows without writing Python:
     configurations against escalating fault intensity (peer crashes,
     burst loss, link downs, recovery black-holing).  Exits non-zero if
     any recovery neither completed nor abandoned (a liveness violation).
+``python -m repro churn``
+    Membership-churn sweep: all five protocols against escalating
+    join/leave churn, with incremental plan repair audited against
+    from-scratch planning.  Exits non-zero on a liveness violation, a
+    send reaching the membership boundary, or a repair quality gap
+    beyond 1%.
 """
 
 from __future__ import annotations
@@ -185,9 +191,23 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
     built = build_scenario(_scenario_from(args))
     factory = PROTOCOLS[args.protocol]()
+    membership = None
+    if args.churn > 0:
+        from repro.experiments.churn import churn_horizon
+        from repro.sim.membership import random_membership_schedule
+        from repro.sim.rng import RngStreams
+
+        membership = random_membership_schedule(
+            args.churn,
+            RngStreams(args.seed).get(f"membership-schedule:{args.churn:g}"),
+            [c for c in built.tree.clients if c != built.tree.root],
+            churn_horizon(built.config),
+        )
     instr = Instrumentation.recording(jsonl_path=args.jsonl)
     try:
-        artifacts = run_protocol_detailed(built, factory, instrumentation=instr)
+        artifacts = run_protocol_detailed(
+            built, factory, instrumentation=instr, membership=membership
+        )
     finally:
         instr.close()
     assert artifacts.obs is not None
@@ -310,6 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="protocol to instrument",
     )
     p_obs.add_argument(
+        "--churn", type=float, default=0.0, metavar="I",
+        help="membership churn intensity in [0, 1]; the member.* and"
+        " plan.repair counters then appear in the breakdown (default 0)",
+    )
+    p_obs.add_argument(
         "--jsonl", metavar="PATH", default=None,
         help="also stream every telemetry event to a JSONL file",
     )
@@ -422,6 +447,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a previously saved chaos sweep instead of simulating",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_churn = sub.add_parser(
+        "churn",
+        help="membership-churn sweep: join/leave dynamics vs plan repair",
+    )
+    p_churn.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p_churn.add_argument(
+        "--intensity", type=float, nargs="+", default=None, metavar="I",
+        help="churn intensities in [0, 1] (default: 0.0 0.4 0.8)",
+    )
+    p_churn.add_argument(
+        "--routers", type=int, default=60, help="backbone router count"
+    )
+    p_churn.add_argument(
+        "--packets", type=int, default=20, help="data stream length"
+    )
+    p_churn.add_argument(
+        "--loss", type=float, default=0.05, help="per-link loss probability"
+    )
+    p_churn.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="save the sweep results as JSON",
+    )
+    p_churn.add_argument(
+        "--load", metavar="PATH", default=None,
+        help="render a previously saved churn sweep instead of simulating",
+    )
+    p_churn.set_defaults(func=_cmd_churn)
     return parser
 
 
@@ -454,6 +507,37 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     # The hardened-recovery gate: a faulted run may abandon, it must
     # never silently hang a detected loss.
     return 1 if sweep.total_violations else 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from repro.experiments.churn import (
+        DEFAULT_INTENSITIES,
+        ChurnSweepResult,
+        run_churn_sweep,
+    )
+
+    if args.load is not None:
+        sweep = ChurnSweepResult.load(args.load)
+    else:
+        intensities = (
+            tuple(args.intensity) if args.intensity is not None
+            else DEFAULT_INTENSITIES
+        )
+        sweep = run_churn_sweep(
+            seeds=tuple(args.seeds),
+            intensities=intensities,
+            num_routers=args.routers,
+            num_packets=args.packets,
+            loss_prob=args.loss,
+            progress=print,
+        )
+    print(sweep.render())
+    if args.save is not None:
+        sweep.save(args.save)
+        print(f"\nsweep saved to {args.save}")
+    # The churn gates: recoveries terminate, no send ever reaches the
+    # membership boundary, repaired plans stay within 1% of scratch.
+    return 0 if sweep.gates_pass else 1
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:

@@ -72,26 +72,34 @@ _TREE_FP_ATTR = "_plan_cache_scenario_fp"
 def scenario_fingerprint(tree: "MulticastTree") -> str:
     """Value-based digest of everything planning reads from the network.
 
-    Covers the tree structure (root + parent map), the client set, and
-    every topology link's endpoints and expected delay (RTTs and thus
-    timeouts derive from those).  Loss probabilities are excluded on
-    purpose: the planner never reads them, which is exactly what lets a
-    loss-probability sweep share one plan.  Memoized on the tree object —
-    do not mutate a tree/topology after planning has seen it.
+    Covers the tree structure (root + parent map), the client set, the
+    tree's membership epoch, and every topology link's endpoints and
+    expected delay (RTTs and thus timeouts derive from those).  Loss
+    probabilities are excluded on purpose: the planner never reads them,
+    which is exactly what lets a loss-probability sweep share one plan.
+
+    The membership epoch makes churn-mutated trees safe to plan against:
+    a prune/graft bumps the epoch, so a plan computed for an earlier
+    group composition can never be served to a later one — even if a
+    rejoin restores the identical structure at a different time.  The
+    memo on the tree object revalidates against the current epoch, so
+    mutation invalidates it without the tree knowing about this module.
     """
+    epoch = getattr(tree, "membership_epoch", 0)
     cached = getattr(tree, _TREE_FP_ATTR, None)
-    if cached is not None:
-        return cached
+    if cached is not None and cached[0] == epoch:
+        return cached[1]
     topo = tree.topology
     payload = (
         tree.root,
         tuple((node, tree.parent(node)) for node in tree.members),
         tuple(tree.clients),
+        epoch,
         topo.num_nodes,
         tuple((link.u, link.v, link.delay) for link in topo.links),
     )
     digest = hashlib.sha256(repr(payload).encode()).hexdigest()
-    setattr(tree, _TREE_FP_ATTR, digest)
+    setattr(tree, _TREE_FP_ATTR, (epoch, digest))
     return digest
 
 

@@ -1,0 +1,446 @@
+"""The churn sweep: membership dynamics versus recovery plans.
+
+The paper plans recovery for a *fixed* receiver group.  The churn sweep
+measures what happens when the group changes under the protocols'
+feet: for each churn intensity in the grid, every protocol runs on the
+same topology against a
+:func:`~repro.sim.membership.random_membership_schedule` of that
+intensity (identical join/leave events per seed across protocols, see
+the ``membership-schedule:<intensity>`` RNG lane).
+
+What comes out per (intensity, seed, protocol) cell:
+
+* the usual recovery metrics — latency should degrade gracefully, not
+  cliff, as members come and go mid-recovery;
+* the membership composition counters (leaves, joins, inbound drops at
+  departed members) from the run's
+  :class:`~repro.sim.membership.MembershipDirector`;
+* for the planning protocol (RP), the **incremental plan repair** cost:
+  how many clients each composition change actually re-planned
+  (``replan_fraction`` — the fraction of the group touched per event;
+  sublinear repair means this stays far below 1.0) and the **quality
+  gap** — the worst relative expected-delay difference between the
+  incrementally repaired plans and planning the final group from
+  scratch.  The acceptance gate requires the gap within 1%;
+* the liveness-violation count, which must be **zero** everywhere: a
+  churned run may abandon a recovery (a permanent leaver takes its
+  losses with it), it must never silently hang one;
+* the ``member.tx_drop`` count, which must also be zero: agent teardown
+  cancels every send a departing member had armed, so a send suppressed
+  at the membership boundary would mean a recovery tried to settle
+  against a departed peer.
+
+Intensity 0 draws the null schedule, so the leftmost column doubles as
+the churn-free baseline of the same build (byte-identical to a run
+without the membership subsystem — the CI smoke ``cmp``'s exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Sequence
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.experiments.chaos import chaos_horizon, hardened_factories
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    BuiltScenario,
+    build_scenario,
+    ensure_unique_factories,
+    run_protocol_detailed,
+)
+from repro.protocols.base import ProtocolFactory
+from repro.sim.faults import LivenessError
+from repro.sim.membership import MembershipSchedule, random_membership_schedule
+from repro.sim.rng import RngStreams
+
+#: Default churn-intensity grid: churn-free baseline, moderate, heavy.
+DEFAULT_INTENSITIES: tuple[float, ...] = (0.0, 0.4, 0.8)
+
+#: The acceptance bound on the incremental-repair quality gap.
+QUALITY_GAP_LIMIT = 0.01
+
+
+def churn_horizon(config: ScenarioConfig) -> float:
+    """Window for placing membership events — same span as the fault
+    schedules: the nominal stream duration plus a session-flush margin,
+    so every scheduled rejoin lands while the session is still live."""
+    return chaos_horizon(config)
+
+
+@dataclass(frozen=True)
+class ChurnRunRecord:
+    """One (protocol, seed, intensity) cell of the sweep."""
+
+    protocol: str
+    seed: int
+    intensity: float
+    losses_detected: int
+    losses_recovered: int
+    losses_abandoned: int
+    avg_latency: float | None
+    #: Per-kind composition totals from the run's MembershipDirector
+    #: (member.leave / member.join / member.rx_drop / member.tx_drop /
+    #: plan.repair).
+    member_counts: dict[str, int]
+    #: Detections that neither recovered nor abandoned (must be 0).
+    liveness_violations: int
+    sim_time: float
+    #: Incremental plan-repair accounting (zeros for non-planning
+    #: protocols or churn-free cells).
+    repair_events: int = 0
+    repair_replans: int = 0
+    #: Mean fraction of the group re-planned per composition change —
+    #: the sublinearity headline (1.0 would be plan_all-per-event).
+    repair_fraction: float = 0.0
+    #: Wall-clock spent repairing — live diagnostic only, excluded from
+    #: the saved artifact (which must be byte-deterministic; timing
+    #: claims live in ``BENCH_churn_repair.json``).
+    repair_seconds: float = 0.0
+    #: Worst relative expected-delay gap between the repaired plans and
+    #: a from-scratch plan of the final group (``None`` when the
+    #: protocol does not plan or nothing churned).
+    repair_quality_gap: float | None = None
+
+    @property
+    def leaves(self) -> int:
+        return self.member_counts.get("member.leave", 0)
+
+    @property
+    def joins(self) -> int:
+        return self.member_counts.get("member.join", 0)
+
+    @property
+    def tx_drops(self) -> int:
+        return self.member_counts.get("member.tx_drop", 0)
+
+
+@dataclass
+class ChurnPoint:
+    """One intensity of the sweep: every protocol x seed record."""
+
+    intensity: float
+    records: list[ChurnRunRecord] = field(default_factory=list)
+
+    def _of(self, protocol: str) -> list[ChurnRunRecord]:
+        return [r for r in self.records if r.protocol == protocol]
+
+    def mean_latency(self, protocol: str) -> float | None:
+        values = [
+            r.avg_latency for r in self._of(protocol) if r.avg_latency is not None
+        ]
+        return sum(values) / len(values) if values else None
+
+    def abandonment_rate(self, protocol: str) -> float:
+        records = self._of(protocol)
+        detected = sum(r.losses_detected for r in records)
+        if detected == 0:
+            return 0.0
+        return sum(r.losses_abandoned for r in records) / detected
+
+    def violations(self, protocol: str | None = None) -> int:
+        records = self.records if protocol is None else self._of(protocol)
+        return sum(r.liveness_violations for r in records)
+
+    def tx_drops(self, protocol: str | None = None) -> int:
+        records = self.records if protocol is None else self._of(protocol)
+        return sum(r.tx_drops for r in records)
+
+
+@dataclass
+class ChurnSweepResult:
+    """A completed churn sweep, JSON round-trippable."""
+
+    seeds: list[int]
+    num_routers: int
+    num_packets: int
+    loss_prob: float
+    protocols: list[str]
+    points: list[ChurnPoint]
+
+    @property
+    def intensities(self) -> list[float]:
+        return [point.intensity for point in self.points]
+
+    @property
+    def total_violations(self) -> int:
+        """Acceptance gate 1: zero everywhere (recoveries terminate)."""
+        return sum(point.violations() for point in self.points)
+
+    @property
+    def total_tx_drops(self) -> int:
+        """Acceptance gate 2: zero everywhere (no send ever reaches the
+        membership boundary — teardown beat it to every armed timer)."""
+        return sum(point.tx_drops() for point in self.points)
+
+    @property
+    def max_quality_gap(self) -> float:
+        """Acceptance gate 3: worst repaired-vs-scratch plan gap."""
+        return max(
+            (
+                r.repair_quality_gap
+                for p in self.points
+                for r in p.records
+                if r.repair_quality_gap is not None
+            ),
+            default=0.0,
+        )
+
+    @property
+    def gates_pass(self) -> bool:
+        return (
+            self.total_violations == 0
+            and self.total_tx_drops == 0
+            and self.max_quality_gap <= QUALITY_GAP_LIMIT
+        )
+
+    def render(self) -> str:
+        rows = []
+        for point in self.points:
+            for protocol in self.protocols:
+                records = point._of(protocol)
+                detected = sum(r.losses_detected for r in records)
+                recovered = sum(r.losses_recovered for r in records)
+                abandoned = sum(r.losses_abandoned for r in records)
+                latency = point.mean_latency(protocol)
+                replans = sum(r.repair_replans for r in records)
+                fractions = [
+                    r.repair_fraction for r in records if r.repair_events
+                ]
+                gaps = [
+                    r.repair_quality_gap
+                    for r in records
+                    if r.repair_quality_gap is not None
+                ]
+                rows.append([
+                    f"{point.intensity:g}",
+                    protocol,
+                    str(sum(r.leaves for r in records)),
+                    str(sum(r.joins for r in records)),
+                    str(detected),
+                    str(recovered),
+                    str(abandoned),
+                    f"{100.0 * point.abandonment_rate(protocol):.1f}",
+                    "n/a" if latency is None else f"{latency:.2f}",
+                    str(replans),
+                    (
+                        f"{100.0 * sum(fractions) / len(fractions):.1f}"
+                        if fractions else "n/a"
+                    ),
+                    f"{100.0 * max(gaps):.2f}" if gaps else "n/a",
+                    str(point.violations(protocol) + point.tx_drops(protocol)),
+                ])
+        table = format_table(
+            [
+                "intensity", "protocol", "leaves", "joins", "detected",
+                "recovered", "abandoned", "abandon %", "latency ms",
+                "replans", "replan %", "gap %", "violations",
+            ],
+            rows,
+        )
+        header = (
+            "Churn sweep: membership dynamics vs recovery plans\n"
+            f"seeds={self.seeds} routers={self.num_routers}"
+            f" packets={self.num_packets} loss={self.loss_prob:g}\n"
+        )
+        footer = (
+            "\n\nliveness violations: "
+            f"{self.total_violations}"
+            f"  member tx drops: {self.total_tx_drops}"
+            f"  worst repair gap: {100.0 * self.max_quality_gap:.2f}%"
+            + ("" if self.gates_pass else "  <-- INVARIANT BROKEN")
+        )
+        return header + "\n" + table + footer
+
+    # -- persistence -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "churn-sweep",
+            "seeds": list(self.seeds),
+            "num_routers": self.num_routers,
+            "num_packets": self.num_packets,
+            "loss_prob": self.loss_prob,
+            "protocols": list(self.protocols),
+            "points": [
+                {
+                    "intensity": point.intensity,
+                    # repair_seconds is wall clock: dropping it keeps the
+                    # artifact byte-deterministic across identical runs.
+                    "records": [
+                        {
+                            k: v
+                            for k, v in asdict(record).items()
+                            if k != "repair_seconds"
+                        }
+                        for record in point.records
+                    ],
+                }
+                for point in self.points
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChurnSweepResult":
+        if data.get("kind") != "churn-sweep":
+            raise ValueError(
+                f"not a churn-sweep document (kind={data.get('kind')!r})"
+            )
+        points = [
+            ChurnPoint(
+                intensity=float(raw["intensity"]),
+                records=[ChurnRunRecord(**record) for record in raw["records"]],
+            )
+            for raw in data["points"]
+        ]
+        return cls(
+            seeds=[int(s) for s in data["seeds"]],
+            num_routers=int(data["num_routers"]),
+            num_packets=int(data["num_packets"]),
+            loss_prob=float(data["loss_prob"]),
+            protocols=list(data["protocols"]),
+            points=points,
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ChurnSweepResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _run_cell(
+    built: BuiltScenario,
+    factory: ProtocolFactory,
+    schedule: MembershipSchedule,
+    seed: int,
+    intensity: float,
+) -> ChurnRunRecord:
+    try:
+        artifacts = run_protocol_detailed(built, factory, membership=schedule)
+    except LivenessError as err:
+        # A protocol that hangs a recovery when a member leaves is the
+        # finding the sweep exists to surface: record it, keep sweeping.
+        report = err.report
+        return ChurnRunRecord(
+            protocol=factory.name,
+            seed=seed,
+            intensity=intensity,
+            losses_detected=report.recovered + report.abandoned + report.violations,
+            losses_recovered=report.recovered,
+            losses_abandoned=report.abandoned,
+            avg_latency=None,
+            member_counts={},
+            liveness_violations=report.violations,
+            sim_time=0.0,
+        )
+    summary = artifacts.summary
+    repair_events = repair_replans = 0
+    repair_fraction = repair_seconds = 0.0
+    quality_gap = None
+    repairer = getattr(factory, "last_repairer", None)
+    if artifacts.membership is not None and repairer is not None:
+        stats = repairer.stats()
+        repair_events = stats["events"]
+        repair_replans = stats["clients_replanned"]
+        repair_fraction = stats["replan_fraction"]
+        repair_seconds = stats["seconds"]
+        if repair_events:
+            # The quality audit: re-plan the *final* group from scratch
+            # and compare every repaired plan against it.
+            quality_gap = repairer.verify_against_scratch(
+                artifacts.membership.departed
+            )
+    return ChurnRunRecord(
+        protocol=factory.name,
+        seed=seed,
+        intensity=intensity,
+        losses_detected=summary.losses_detected,
+        losses_recovered=summary.losses_recovered,
+        losses_abandoned=artifacts.log.num_abandoned,
+        avg_latency=summary.avg_latency,
+        member_counts=(
+            dict(artifacts.membership.counts)
+            if artifacts.membership is not None else {}
+        ),
+        liveness_violations=(
+            artifacts.liveness.violations if artifacts.liveness is not None else 0
+        ),
+        sim_time=summary.sim_time,
+        repair_events=repair_events,
+        repair_replans=repair_replans,
+        repair_fraction=repair_fraction,
+        repair_seconds=repair_seconds,
+        repair_quality_gap=quality_gap,
+    )
+
+
+def run_churn_sweep(
+    seeds: Sequence[int] = (1,),
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    num_routers: int = 60,
+    num_packets: int = 20,
+    loss_prob: float = 0.05,
+    factories: list[ProtocolFactory] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ChurnSweepResult:
+    """Sweep churn intensity against the hardened protocol suite.
+
+    Per seed the topology is built once and shared by every (intensity,
+    protocol) cell; churned runs clone the multicast tree so the shared
+    build stays pristine.  Per (seed, intensity) the *schedule* is
+    sampled once from its own ``membership-schedule:<intensity>`` RNG
+    lane, so all protocols face the identical join/leave events.  The
+    source never churns (a sourceless group measures the schedule, not
+    the protocol), and churn runs use the realistic loss mode — members
+    leave mid-recovery precisely because recoveries take time.
+    """
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    if not intensities:
+        raise ValueError("intensities must be non-empty")
+    factories = factories if factories is not None else hardened_factories()
+    ensure_unique_factories(factories)
+    points = [ChurnPoint(intensity=float(i)) for i in intensities]
+    for seed in seeds:
+        config = ScenarioConfig(
+            seed=seed,
+            num_routers=num_routers,
+            loss_prob=loss_prob,
+            num_packets=num_packets,
+            lossless_recovery=False,
+        )
+        built = build_scenario(config)
+        horizon = churn_horizon(config)
+        churn_candidates = [
+            client for client in built.tree.clients if client != built.tree.root
+        ]
+        for point in points:
+            schedule = random_membership_schedule(
+                point.intensity,
+                RngStreams(seed).get(
+                    f"membership-schedule:{point.intensity:g}"
+                ),
+                churn_candidates,
+                horizon,
+            )
+            for factory in factories:
+                if progress is not None:
+                    progress(
+                        f"churn seed={seed} intensity={point.intensity:g}"
+                        f" {factory.name}"
+                    )
+                point.records.append(
+                    _run_cell(built, factory, schedule, seed, point.intensity)
+                )
+    return ChurnSweepResult(
+        seeds=[int(s) for s in seeds],
+        num_routers=num_routers,
+        num_packets=num_packets,
+        loss_prob=loss_prob,
+        protocols=[factory.name for factory in factories],
+        points=points,
+    )

@@ -30,6 +30,7 @@ from repro.sim.faults import (
     LivenessReport,
     RecoveryLivenessChecker,
 )
+from repro.sim.membership import MembershipDirector, MembershipSchedule
 from repro.sim.network import SimNetwork
 from repro.sim.rng import RngStreams
 
@@ -81,6 +82,9 @@ class RunArtifacts:
     obs: ObsReport | None = None
     faults: FaultInjector | None = None
     liveness: LivenessReport | None = None
+    #: The run's live membership director (``None`` for churn-free
+    #: runs) — its ``counts`` carry the per-kind composition totals.
+    membership: MembershipDirector | None = None
     #: Causal span trees; ``None`` unless the instrumentation carried a
     #: :class:`~repro.obs.tracing.Tracer` (``recording(trace=True)``).
     spans: SpanStore | None = None
@@ -91,6 +95,7 @@ def run_protocol(
     factory: ProtocolFactory,
     instrumentation: Instrumentation | None = None,
     faults: FaultSchedule | None = None,
+    membership: MembershipSchedule | None = None,
 ) -> RunSummary:
     """Run one protocol on a built scenario and summarize it.
 
@@ -100,7 +105,7 @@ def run_protocol(
     completion (a protocol liveness bug, not a measurement).
     """
     return run_protocol_detailed(
-        built, factory, instrumentation, faults=faults
+        built, factory, instrumentation, faults=faults, membership=membership
     ).summary
 
 
@@ -109,6 +114,7 @@ def run_protocol_detailed(
     factory: ProtocolFactory,
     instrumentation: Instrumentation | None = None,
     faults: FaultSchedule | None = None,
+    membership: MembershipSchedule | None = None,
 ) -> RunArtifacts:
     """Like :func:`run_protocol` but also returns the raw collectors
     (per-loss timelines, per-kind hop counters).
@@ -126,6 +132,16 @@ def run_protocol_detailed(
     the liveness invariant after the drain (every detected loss
     recovered or explicitly abandoned) and carry the report plus the
     injection counters in the returned artifacts.
+
+    ``membership`` drives join/leave churn through a
+    :class:`~repro.sim.membership.MembershipDirector`.  ``None`` *and*
+    the null schedule construct no director and mutate nothing — the
+    shared built tree stays pristine and churn-free runs are
+    byte-identical to runs of a build without the membership subsystem.
+    Churned runs execute on a :meth:`~repro.net.mcast_tree.MulticastTree.clone`
+    of the tree, wire incremental plan repair into factories that
+    support it (:meth:`~repro.protocols.rp.RPProtocolFactory.attach_membership`),
+    and assert the same liveness invariant as faulted runs.
     """
     config = built.config
     instr = instrumentation
@@ -144,11 +160,19 @@ def run_protocol_detailed(
         injector = FaultInjector(
             faults, streams.get(f"faults:{factory.name}"), instrumentation=instr
         )
+    director = None
+    tree = built.tree
+    if membership is not None and not membership.is_null:
+        # Churn mutates the tree (leaf prune/graft), so the run gets its
+        # own structural copy — the built scenario's tree is shared by
+        # every protocol run of this seed and must stay pristine.
+        tree = built.tree.clone()
+        director = MembershipDirector(membership, instrumentation=instr)
     network = SimNetwork(
         events,
         built.topology,
         built.routing,
-        built.tree,
+        tree,
         loss_rng=streams.get(f"loss:{factory.name}"),
         ledger=ledger,
         data_loss_rng=streams.get("loss:data"),
@@ -164,18 +188,26 @@ def run_protocol_detailed(
         ),
         profiler=profiler,
         faults=injector,
+        membership=director,
     )
     tracer = instr.tracer if instr is not None else None
     if tracer is not None:
         # The tracer consumes the network's link-event stream; packet
         # stamping happens inside the protocol agents via trace_ids.
         network.add_link_observer(tracer.on_link_event)
-    clients = built.tree.clients
+    clients = tree.clients
     tracker = CompletionTracker(len(clients), config.num_packets)
     source_agent = factory.install(
         network, log, tracker, streams, config.num_packets,
         instrumentation=instr,
     )
+    if director is not None:
+        # Incremental plan repair for factories that plan (RP); other
+        # protocols churn without re-planning.  Arm after install so the
+        # director's events find the agents in place.
+        if hasattr(factory, "attach_membership"):
+            factory.attach_membership(director)
+        director.arm()
     driver = StreamDriver(
         network, source_agent, config.stream_config(), tracker,
         instrumentation=instr,
@@ -204,9 +236,13 @@ def run_protocol_detailed(
     # would have fallen after the drain cutoff.
     network.finalize_fast_dissem(events.now)
     liveness = None
-    if injector is not None:
-        # The hardened-recovery invariant: a faulted run may abandon,
-        # but it must never silently hang a detected loss.
+    if director is not None:
+        # Membership events past the drain cutoff never fired; cancel
+        # them so they don't read as stuck protocol timers below.
+        director.cancel_pending()
+    if injector is not None or director is not None:
+        # The hardened-recovery invariant: a faulted or churned run may
+        # abandon, but it must never silently hang a detected loss.
         liveness = RecoveryLivenessChecker().assert_terminated(log, events)
 
     summary = summarize_run(
@@ -227,7 +263,7 @@ def run_protocol_detailed(
         )
     return RunArtifacts(
         summary=summary, log=log, ledger=ledger, obs=obs,
-        faults=injector, liveness=liveness,
+        faults=injector, liveness=liveness, membership=director,
         spans=tracer.store if tracer is not None else None,
     )
 

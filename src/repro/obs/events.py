@@ -23,6 +23,10 @@ cannot show:
   link-down drop, burst-state drop, request/repair blackhole) or a
   hardening reaction to faults (a peer declared dead, a recovery
   abandoned).  See :mod:`repro.sim.faults`.
+* :class:`MemberEvent` — one group-composition change (a member leaving
+  or rejoining), its enforcement (deliveries dropped / sends suppressed
+  for departed members), or the plan-repair reaction to it.  See
+  :mod:`repro.sim.membership`.
 
 The :class:`EventBus` fans records out to attached sinks.  Its
 ``active`` property is the fast path guard: when no attached sink
@@ -156,9 +160,29 @@ class FaultEvent(ObsEvent):
     seq: int = -1
 
 
+@dataclass(frozen=True, slots=True)
+class MemberEvent(ObsEvent):
+    """A group-composition change or its enforcement.
+
+    ``action`` is the dotted kind (``member.leave``, ``member.join``,
+    ``member.rx_drop``, ``member.tx_drop``, ``plan.repair``);
+    ``node``/``seq`` carry whatever identity the kind has (-1 where not
+    applicable).  See :mod:`repro.sim.membership`.
+    """
+
+    kind: ClassVar[str] = "member"
+
+    action: str = ""
+    node: int = -1
+    seq: int = -1
+
+
 _EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.kind: cls
-    for cls in (AttemptEvent, TimerEvent, BackoffEvent, PhaseEvent, FaultEvent)
+    for cls in (
+        AttemptEvent, TimerEvent, BackoffEvent, PhaseEvent, FaultEvent,
+        MemberEvent,
+    )
 }
 
 

@@ -38,6 +38,7 @@ from repro.obs.events import (
     BackoffEvent,
     EventBus,
     FaultEvent,
+    MemberEvent,
     PhaseEvent,
     TimerEvent,
 )
@@ -212,6 +213,22 @@ class Instrumentation:
         if tracer is not None:
             tracer.on_fault(time, fault, node, peer, seq)
 
+    def member(
+        self, time: float, action: str, node: int = -1, seq: int = -1
+    ) -> None:
+        """A group-composition change (or its enforcement) happened;
+        bumps the dotted ``member.*``/``plan.*`` counter and emits a
+        :class:`~repro.obs.events.MemberEvent`."""
+        counter = self._counters.get(("member", action))
+        if counter is None:
+            counter = self.registry.counter(action)
+            self._counters[("member", action)] = counter
+        counter.value += 1
+        if self.bus.active:
+            self.bus.emit(MemberEvent(
+                time=time, action=action, node=node, seq=seq,
+            ))
+
     def phase(self, time: float, phase: str, detail: str = "") -> None:
         counter = self._counters.get(("phase", phase))
         if counter is None:
@@ -271,6 +288,9 @@ class _NullInstrumentation(Instrumentation):
         pass
 
     def fault(self, *args, **kwargs) -> None:
+        pass
+
+    def member(self, *args, **kwargs) -> None:
         pass
 
     def phase(self, *args, **kwargs) -> None:

@@ -178,6 +178,18 @@ class ObsReport:
                     f"  {r.label:>6}  {r.attempts:8d}  {r.successes:9d}"
                     f"  {r.timeouts:9d}  {r.nacks:6d}  {rate}  {predicted}"
                 )
+        membership = {
+            name: value
+            for name, value in sorted(self.counters.items())
+            if name.startswith("member.") or name == "plan.repair"
+        }
+        if membership:
+            lines.append("")
+            lines.append("membership churn:")
+            parts = ", ".join(
+                f"{name}={value}" for name, value in membership.items()
+            )
+            lines.append(f"  {parts}")
         if self.timers:
             lines.append("")
             lines.append("top timers (wall clock):")

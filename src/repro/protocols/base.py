@@ -106,6 +106,8 @@ class ClientAgent:
         self.detected: set[int] = set()
         self.abandoned_seqs: set[int] = set()
         self._next_unchecked = 0
+        #: True while the member is out of the group (see :meth:`depart`).
+        self.departed = False
 
     # -- reception --------------------------------------------------------
 
@@ -190,6 +192,46 @@ class ClientAgent:
         self.log.abandoned(self.node, seq, self.network.events.now)
         if 0 <= seq < self.num_packets:
             self.tracker.mark_abandoned()
+
+    # -- dynamic membership ------------------------------------------------
+
+    def depart(self, permanent: bool) -> None:
+        """The member left the group (churn, not crash).
+
+        Every in-flight recovery terminates explicitly — the detected
+        losses are abandoned (log record + tracker settlement) and the
+        subclass cancels its armed timers via
+        :meth:`_teardown_recoveries`, so a churned run drains with zero
+        pending timers and ``member.tx_drop`` never fires.
+
+        A *permanent* leaver additionally settles every slot it never
+        received and — being gone — will never detect: quietly, with no
+        ``abandoned`` log record (they were never detected losses, so
+        liveness does not track them), but marked in ``abandoned_seqs``
+        so a stray late repair cannot double-settle the tracker.  A
+        temporary leaver keeps those slots open and catches up after
+        :meth:`rejoin` through ordinary SESSION-driven gap detection.
+        """
+        self.departed = True
+        for seq in sorted(self.detected):
+            if seq not in self.received:
+                self.abandon(seq)
+        self._teardown_recoveries()
+        if permanent:
+            for seq in range(self.num_packets):
+                if seq not in self.received and seq not in self.abandoned_seqs:
+                    self.abandoned_seqs.add(seq)
+                    self.tracker.mark_abandoned()
+
+    def rejoin(self) -> None:
+        """The member is back; losses accrued while away surface through
+        the next SESSION message's gap scan."""
+        self.departed = False
+
+    def _teardown_recoveries(self) -> None:
+        """Cancel every armed recovery timer and drop per-seq recovery
+        state.  Subclasses with timers **must** override — the liveness
+        checker counts stale armed timers at drain."""
 
     def force_detect(self, seq: int) -> None:
         """Treat ``seq`` as lost right now even without a gap.

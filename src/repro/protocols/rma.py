@@ -289,12 +289,40 @@ class RMAClientAgent(ClientAgent):
                 elapsed=now - pending.detected_at,
             )
 
+    def _teardown_recoveries(self) -> None:
+        """Departure teardown: cancel search timers, forget subsumed
+        requests (the leaver no longer owes anyone a repair)."""
+        now = self.network.events.now
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+                self.instr.timer(
+                    now, "rma", self.node, "rma.search", "cancelled",
+                    seq=pending.seq,
+                )
+        self._pending.clear()
+        self._subsumed.clear()
+
     # -- visited-receiver side ---------------------------------------------------
 
     def on_protocol_packet(self, packet: Packet) -> None:
         if packet.kind is not PacketKind.REQUEST:
             return
         seq = packet.seq
+        if not self.network.tree.contains(packet.origin):
+            # The requester left (and was pruned) while its request was
+            # in flight: no meeting router exists any more.  Answer
+            # directly if we can — the delivery is membership-dropped at
+            # the leaver — and never subsume for a ghost.
+            if self.has(seq):
+                self.network.send_unicast(
+                    self.node, packet.origin,
+                    Packet(
+                        PacketKind.REPAIR, seq, origin=self.node,
+                        trace_id=packet.trace_id, span_id=packet.span_id,
+                    ),
+                )
+            return
         meeting = self.network.tree.first_common_router(self.node, packet.origin)
         if self.has(seq):
             repair = Packet(
@@ -332,11 +360,15 @@ class RMASourceAgent(SourceAgentBase):
     def on_request(self, packet: Packet) -> None:
         if not self.has(packet.seq):
             return  # not sent yet; the requester retries
-        subgroup = self.network.tree.top_level_subgroup(packet.origin)
         repair = Packet(
             PacketKind.REPAIR, packet.seq, origin=self.node,
             trace_id=packet.trace_id, span_id=packet.span_id,
         )
+        if not self.network.tree.contains(packet.origin):
+            # Pruned-leaver straggler: no subgroup to repair into.
+            self.network.send_unicast(self.node, packet.origin, repair)
+            return
+        subgroup = self.network.tree.top_level_subgroup(packet.origin)
         if self._deduper.should_repair(
             packet.seq, subgroup, self.network.events.now
         ):

@@ -32,6 +32,7 @@ path collapses to the paper-faithful behaviour above, bit for bit.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from dataclasses import dataclass
 from typing import Callable
 
@@ -340,6 +341,18 @@ class RPClientAgent(ClientAgent):
                 "retracted", elapsed=now - pending.detected_at,
             )
 
+    def _teardown_recoveries(self) -> None:
+        """Departure teardown: cancel every armed attempt timer."""
+        now = self.network.events.now
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+                self.instr.timer(
+                    now, self.protocol, self.node, "rp.attempt", "cancelled",
+                    seq=pending.seq,
+                )
+        self._pending.clear()
+
     # -- serving peers ------------------------------------------------------
 
     def on_protocol_packet(self, packet: Packet) -> None:
@@ -434,7 +447,10 @@ class RPSourceAgent(SourceAgentBase):
             req_id=packet.req_id,
             trace_id=packet.trace_id, span_id=packet.span_id,
         )
-        if self.source_multicast:
+        if self.source_multicast and self.network.tree.contains(packet.origin):
+            # A request from a member that has since left (and been
+            # pruned) has no subgroup; the unicast branch below covers
+            # it — the delivery is then membership-dropped at the leaver.
             subgroup = self.subgrouping.subgroup_root(packet.origin)
             if self._deduper.should_repair(
                 packet.seq, subgroup, self.network.events.now
@@ -458,6 +474,11 @@ class RPProtocolFactory(ProtocolFactory):
         #: Strategies planned by the most recent :meth:`install` —
         #: telemetry reports read them for the per-rank predictions.
         self.last_strategies: dict[int, RecoveryStrategy] = {}
+        #: The incremental repairer wired by the most recent
+        #: :meth:`attach_membership` (its history/stats feed the churn
+        #: sweep's repair-cost report); None until one is attached.
+        self.last_repairer = None
+        self._install_ctx: tuple | None = None
 
     def install(
         self,
@@ -558,4 +579,71 @@ class RPProtocolFactory(ProtocolFactory):
             subgrouping=subgrouping,
         )
         network.attach_agent(source.node, source)
+        self._install_ctx = (network, agents, estimator, instrumentation)
         return source
+
+    # -- dynamic membership ------------------------------------------------
+
+    def _replan_client(
+        self, network: SimNetwork, estimator, client: int,
+        departed: frozenset,
+    ) -> RecoveryStrategy:
+        """From-scratch plan for one client with ``departed`` restricted
+        out of the strategy graph — the incremental repairer's unit of
+        work, generalizing the failure detector's ``replan_on_death``."""
+        base = self.config.restrictions or StrategyRestrictions()
+        planner = RPPlanner(
+            network.tree,
+            network.routing,
+            timeout_policy=self.config.timeout_policy,
+            estimator=estimator,
+            restrictions=dataclasses.replace(
+                base,
+                forbidden_peers=frozenset(base.forbidden_peers) | departed,
+            ),
+        )
+        return planner.plan(client)
+
+    def attach_membership(self, director) -> None:
+        """Wire incremental plan repair to a membership director.
+
+        Must follow :meth:`install` (the repairer seeds from the
+        installed strategies).  After every join/leave the director
+        fires, only the invalidated clients are re-planned (see
+        :mod:`repro.core.plan_repair`); repaired lists are swapped into
+        the live agents for *subsequent* recoveries — in-flight
+        recoveries keep their strategy snapshot, exactly as with
+        failure-detector re-plans — and one ``plan.repair`` record is
+        emitted carrying the re-planned client count.
+        """
+        if self._install_ctx is None:
+            raise RuntimeError("attach_membership() requires install() first")
+        from repro.core.plan_repair import IncrementalPlanRepairer
+        from repro.obs.instrumentation import NULL_INSTRUMENTATION
+
+        network, agents, estimator, instrumentation = self._install_ctx
+        instr = (
+            instrumentation if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
+        repairer = IncrementalPlanRepairer(
+            network.tree,
+            network.routing,
+            self.last_strategies,
+            functools.partial(self._replan_client, network, estimator),
+        )
+        self.last_repairer = repairer
+
+        def on_change(kind: str, node: int, director) -> None:
+            replanned = repairer.repair(kind, node, director.departed)
+            for client, strategy in replanned.items():
+                agent = agents.get(client)
+                if agent is not None:
+                    agent.strategy = strategy
+            self.last_strategies = dict(repairer.strategies)
+            instr.member(
+                network.events.now, "plan.repair", node=node,
+                seq=len(replanned),
+            )
+
+        director.add_listener(on_change)

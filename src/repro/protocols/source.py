@@ -142,6 +142,19 @@ class SourceRecoveryClientAgent(ClientAgent):
         self.instr.fault(now, "recovery.abandoned", node=self.node, seq=seq)
         self.abandon(seq)
 
+    def _teardown_recoveries(self) -> None:
+        """Departure teardown: cancel every armed request timer."""
+        now = self.network.events.now
+        for seq, timer in self._timers.items():
+            timer.cancel()
+            self.instr.timer(
+                now, "source", self.node, "source.request", "cancelled",
+                seq=seq,
+            )
+        self._timers.clear()
+        self._detected_at.clear()
+        self._attempts.clear()
+
     def on_recovered(self, seq: int) -> None:
         timer = self._timers.pop(seq, None)
         if timer is not None:
@@ -177,10 +190,12 @@ class SourceRecoverySourceAgent(SourceAgentBase):
             PacketKind.REPAIR, packet.seq, origin=self.node,
             trace_id=packet.trace_id, span_id=packet.span_id,
         )
-        if self.subgroup_multicast:
+        if self.subgroup_multicast and self.network.tree.contains(packet.origin):
             subgroup = self.network.tree.top_level_subgroup(packet.origin)
             self.network.multicast_subtree(self.node, subgroup, repair)
         else:
+            # Unicast mode, or a pruned-leaver straggler with no
+            # subgroup left to repair into.
             self.network.send_unicast(self.node, packet.origin, repair)
 
 

@@ -303,6 +303,26 @@ class SRMClientAgent(ClientAgent, _SRMRepairLogic):
                 "retracted", elapsed=now - pending.detected_at,
             )
 
+    def _teardown_recoveries(self) -> None:
+        """Departure teardown: cancel request *and* repair timers (a
+        leaver owes nobody a repair either)."""
+        now = self.network.events.now
+        for pending in self._requests.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+                self.instr.timer(
+                    now, "srm", self.node, "srm.request", "cancelled",
+                    seq=pending.seq,
+                )
+        self._requests.clear()
+        for seq, timer in self._repair_timers.items():
+            timer.cancel()
+            self.instr.timer(
+                now, "srm", self.node, "srm.repair", "cancelled", seq=seq
+            )
+        self._repair_timers.clear()
+        self._repair_ctx.clear()
+
     # -- overheard traffic ---------------------------------------------------
 
     def on_protocol_packet(self, packet: Packet) -> None:

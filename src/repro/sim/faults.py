@@ -183,6 +183,12 @@ def random_fault_schedule(
         for index in sorted(int(i) for i in picks):
             start = float(rng.uniform(0.0, 0.6 * horizon))
             length = float(rng.uniform(0.05, 0.05 + 0.25 * intensity)) * horizon
+            if start + length <= start:
+                # Degenerate [t, t) window: it would never fire yet
+                # still count as an injected fault.  Skip it *after*
+                # consuming both draws so the lane's sequence (and every
+                # later window) is unchanged by the filter.
+                continue
             crash_windows.append(
                 CrashWindow(node=nodes[index], start=start, end=start + length)
             )
@@ -196,6 +202,8 @@ def random_fault_schedule(
             link = links[index]
             start = float(rng.uniform(0.0, 0.6 * horizon))
             length = float(rng.uniform(0.02, 0.02 + 0.15 * intensity)) * horizon
+            if start + length <= start:
+                continue
             down_windows.append(
                 LinkDownWindow(u=link.u, v=link.v, start=start, end=start + length)
             )

@@ -66,6 +66,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle breaker
     from repro.obs.profiler import Profiler
     from repro.protocols.base import StreamConfig
     from repro.sim.faults import FaultInjector
+    from repro.sim.membership import MembershipDirector
 
 #: Environment kill switch for the array dissemination fast path.
 FAST_DISSEM_ENV = "REPRO_FAST_DISSEM"
@@ -254,6 +255,7 @@ class SimNetwork:
         congestion: "object | None" = None,
         profiler: "Profiler | None" = None,
         faults: "FaultInjector | None" = None,
+        membership: "MembershipDirector | None" = None,
     ):
         # Imported here, not at module level: metrics.collectors imports
         # sim.packet, so a module-level import would be circular.
@@ -298,6 +300,17 @@ class SimNetwork:
         # runner never constructs an injector for a null schedule, so
         # fault-free runs replay the pre-fault byte stream exactly.
         self._faults = faults
+        # Optional dynamic membership (join/leave churn — see
+        # repro.sim.membership).  Same discipline as faults: None keeps
+        # every check at one attribute test, and the runner never
+        # constructs a director for a null schedule, so churn-free runs
+        # replay the pre-membership byte stream exactly.  The director
+        # suppresses a departed member's sends *before* the tree
+        # containment checks: a pruned leaf is no longer a tree member,
+        # and its last armed sends must vanish, not raise.
+        self._membership = membership
+        if membership is not None:
+            membership.bind(self)
         self.ledger = ledger if ledger is not None else BandwidthLedger()
         self._agents: dict[int, Agent] = {}
         # Link observers receive one TraceEvent per transmission, drop
@@ -373,6 +386,13 @@ class SimNetwork:
                 # the agent silently ignores.  (Forwarding through the
                 # node is unaffected — routers did not crash.)
                 return
+            if self._membership is not None and self._membership.drop_delivery(
+                node, packet, self.events.now
+            ):
+                # The node left the group: the wire delivered, the
+                # departed process ignores.  (Interior ex-members still
+                # forward — the wire outlives the member.)
+                return
             agent.on_packet(packet)
 
     # -- path caches -----------------------------------------------------
@@ -405,6 +425,23 @@ class SimNetwork:
             cache.move_to_end(key)
         return entry
 
+    # -- dynamic membership ----------------------------------------------
+
+    @property
+    def membership(self) -> "MembershipDirector | None":
+        return self._membership
+
+    def on_tree_mutated(self) -> None:
+        """Invalidate tree-derived caches after a prune/graft.
+
+        The access-leg LRU holds tree paths, which a mutation can
+        reroute; the routed-path LRU is topology-only and survives.
+        (The tree rebuilds its own derived structures internally, and
+        the fast dissemination path is never armed alongside a
+        membership director.)
+        """
+        self._leg_cache.clear()
+
     # -- array dissemination fast path -----------------------------------
 
     def enable_fast_dissem(self, stream: "StreamConfig") -> bool:
@@ -425,6 +462,10 @@ class SimNetwork:
         if self._jitter > 0.0 or self._congestion is not None:
             return False
         if self._faults is not None:
+            return False
+        if self._membership is not None:
+            # Churn mutates the tree mid-run; the fast path's TreeDissem
+            # arrays snapshot it once.  Scalar path throughout.
             return False
         if self._profiler is not None and self._profiler.enabled:
             return False
@@ -741,6 +782,10 @@ class SimNetwork:
         through :meth:`_deliver`, so local delivery faces the same
         crash check as a remote arrival.
         """
+        if self._membership is not None and self._membership.suppress_send(
+            src, packet, self.events.now
+        ):
+            return
         faults = self._faults
         if faults is not None:
             now = self.events.now
@@ -779,6 +824,10 @@ class SimNetwork:
     def _cascade_down(self, node: int, packet: Packet) -> None:
         """Copy ``packet`` to every child of ``node``, continuing down
         recursively via :class:`_CascadeArrival` events."""
+        if self._membership is not None and not self.tree.contains(node):
+            # The copy was in flight when churn pruned this leaf; a
+            # pruned leaf has no subtree to continue into.
+            return
         for child, link in self.tree.children_with_links(node):
             self._transmit(
                 link, child, packet, _CascadeArrival(self, child, packet)
@@ -795,6 +844,13 @@ class SimNetwork:
         ``subtree_root`` and the nodes on the access leg — receive the
         packet; the originator does not self-deliver.
         """
+        if self._membership is not None and self._membership.suppress_send(
+            src, packet, self.events.now
+        ):
+            # Checked before containment: a departed-and-pruned leaf is
+            # no longer a tree member, and its last armed sends must be
+            # suppressed, not raise.
+            return
         if not self.tree.contains(src) or not self.tree.contains(subtree_root):
             raise ValueError("multicast endpoints must be tree members")
         if self._faults is not None and self._faults.suppress_send(
@@ -817,6 +873,10 @@ class SimNetwork:
         _LegTransit(self, self._tree_leg(src, subtree_root), packet)()
 
     def _flood_spread(self, node: int, came_from: int, packet: Packet) -> None:
+        if self._membership is not None and not self.tree.contains(node):
+            # In-flight flood copy arriving at a since-pruned leaf: it
+            # has no tree links left to spread over.
+            return
         for neighbor, link in self.tree.flood_neighbors(node):
             if neighbor == came_from:
                 continue
@@ -828,6 +888,12 @@ class SimNetwork:
     def flood_tree(self, src: int, packet: Packet) -> None:
         """Any-source group multicast: spread over every tree link
         outward from ``src``, delivering to every member reached."""
+        if self._membership is not None and self._membership.suppress_send(
+            src, packet, self.events.now
+        ):
+            # Before containment, same as multicast_subtree: a pruned
+            # leaf's stragglers suppress, they do not raise.
+            return
         if not self.tree.contains(src):
             raise ValueError(f"flood origin {src} is not a tree member")
         if self._faults is not None and self._faults.suppress_send(

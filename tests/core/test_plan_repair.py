@@ -1,0 +1,145 @@
+"""Tests for incremental plan repair under membership churn.
+
+The contract under test (see repro.core.plan_repair): after any
+join/leave event, the incrementally repaired strategy set must equal
+from-scratch planning of the current group — the skip filters (the
+departure monotonicity argument, the join LCA/class-winner filters) may
+only skip clients whose optimal plan provably did not move.
+"""
+
+import pytest
+
+from repro.core.plan_repair import IncrementalPlanRepairer
+from repro.core.planner import RPPlanner
+from repro.core.strategy_graph import StrategyRestrictions
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_scenario
+
+
+def _setup(seed=3, routers=40):
+    built = build_scenario(
+        ScenarioConfig(seed=seed, num_routers=routers, loss_prob=0.05,
+                       num_packets=5)
+    )
+    tree = built.tree.clone()
+    routing = built.routing
+
+    def replan(client, departed):
+        planner = RPPlanner(
+            tree, routing,
+            restrictions=StrategyRestrictions(
+                forbidden_peers=frozenset(departed)
+            ),
+        )
+        return planner.plan(client)
+
+    strategies = dict(RPPlanner(tree, routing).plan_all())
+    return tree, routing, strategies, replan
+
+
+def _leaf_peer_in_some_list(tree, strategies):
+    """A leaf client that appears in at least one other client's chosen
+    prioritized list — leaving it must dirty those clients."""
+    chosen_peers = {
+        cand.node
+        for strategy in strategies.values()
+        for cand in strategy.attempts
+    }
+    for node in sorted(chosen_peers):
+        if tree.contains(node) and tree.is_leaf(node) and node != tree.root:
+            return node
+    pytest.skip("scenario has no leaf client inside a chosen list")
+
+
+class TestLeave:
+    def test_departed_peer_scrubbed_everywhere(self):
+        tree, routing, strategies, replan = _setup()
+        leaver = _leaf_peer_in_some_list(tree, strategies)
+        repairer = IncrementalPlanRepairer(tree, routing, strategies, replan)
+        tree.prune_leaf(leaver)
+        replanned = repairer.repair("leave", leaver, frozenset({leaver}))
+        assert leaver not in repairer.strategies
+        for strategy in repairer.strategies.values():
+            assert leaver not in [a.node for a in strategy.attempts]
+        # Only the dirty clients were touched — sublinear by
+        # construction, strict on any non-degenerate scenario.
+        assert 0 < len(replanned) < len(strategies)
+
+    def test_leave_repair_matches_scratch(self):
+        tree, routing, strategies, replan = _setup()
+        leaver = _leaf_peer_in_some_list(tree, strategies)
+        repairer = IncrementalPlanRepairer(tree, routing, strategies, replan)
+        tree.prune_leaf(leaver)
+        repairer.repair("leave", leaver, frozenset({leaver}))
+        # The monotonicity argument, checked empirically: every client
+        # the repair *skipped* must still hold its from-scratch optimum.
+        assert repairer.verify_against_scratch(frozenset({leaver})) == 0.0
+
+    def test_leave_of_unchosen_peer_replans_nobody(self):
+        tree, routing, strategies, replan = _setup()
+        chosen = {
+            cand.node
+            for strategy in strategies.values()
+            for cand in strategy.attempts
+        }
+        unchosen = [
+            c for c in tree.clients
+            if c not in chosen and c != tree.root and tree.is_leaf(c)
+        ]
+        if not unchosen:
+            pytest.skip("every leaf client is in some chosen list")
+        leaver = unchosen[0]
+        repairer = IncrementalPlanRepairer(tree, routing, strategies, replan)
+        tree.prune_leaf(leaver)
+        replanned = repairer.repair("leave", leaver, frozenset({leaver}))
+        assert replanned == {}
+        assert repairer.verify_against_scratch(frozenset({leaver})) == 0.0
+
+
+class TestJoin:
+    def test_rejoin_replans_joiner_and_matches_scratch(self):
+        tree, routing, strategies, replan = _setup()
+        leaver = _leaf_peer_in_some_list(tree, strategies)
+        repairer = IncrementalPlanRepairer(tree, routing, strategies, replan)
+        parent = tree.prune_leaf(leaver)
+        repairer.repair("leave", leaver, frozenset({leaver}))
+        tree.graft_leaf(leaver, parent)
+        replanned = repairer.repair("join", leaver, frozenset())
+        # The joiner always gets a fresh plan.
+        assert leaver in replanned
+        assert leaver in repairer.strategies
+        # After the round trip the group is back to the original set;
+        # the LCA/class-winner filters may only skip unmoved plans.
+        assert repairer.verify_against_scratch(frozenset()) == 0.0
+        # Join repair is also sublinear: the joiner plus the clients it
+        # could actually improve, not the whole group.
+        assert len(replanned) < len(repairer.strategies)
+
+    @pytest.mark.parametrize("seed", [3, 9, 21])
+    def test_round_trip_over_seeds(self, seed):
+        tree, routing, strategies, replan = _setup(seed=seed)
+        leaver = _leaf_peer_in_some_list(tree, strategies)
+        repairer = IncrementalPlanRepairer(tree, routing, strategies, replan)
+        parent = tree.prune_leaf(leaver)
+        repairer.repair("leave", leaver, frozenset({leaver}))
+        assert repairer.verify_against_scratch(frozenset({leaver})) == 0.0
+        tree.graft_leaf(leaver, parent)
+        repairer.repair("join", leaver, frozenset())
+        assert repairer.verify_against_scratch(frozenset()) == 0.0
+
+
+class TestAccounting:
+    def test_history_and_stats(self):
+        tree, routing, strategies, replan = _setup()
+        leaver = _leaf_peer_in_some_list(tree, strategies)
+        repairer = IncrementalPlanRepairer(tree, routing, strategies, replan)
+        parent = tree.prune_leaf(leaver)
+        repairer.repair("leave", leaver, frozenset({leaver}))
+        tree.graft_leaf(leaver, parent)
+        repairer.repair("join", leaver, frozenset())
+        assert [h["kind"] for h in repairer.history] == ["leave", "join"]
+        stats = repairer.stats()
+        assert stats["events"] == 2
+        assert stats["clients_replanned"] >= 1
+        assert 0.0 < stats["replan_fraction"] < 1.0
+        assert stats["seconds"] >= 0.0

