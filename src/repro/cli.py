@@ -19,6 +19,15 @@ Subcommands cover the common workflows without writing Python:
     timeout slack, backoff) plus the worst recoveries; ``--perfetto``
     and ``--spans`` export the span trees for Perfetto /
     ``chrome://tracing`` and as JSONL.
+``python -m repro health``
+    Run one scenario with windowed sim-time telemetry, evaluate the
+    invariant watchdogs (stall, conservation, quiescence) and print
+    per-window sparklines plus the verdict; exits non-zero on any
+    violation.  ``--blackhole P`` injects a recovery black hole under a
+    hardened policy (the stall demo); ``--fingerprint``/``--ledger``
+    record the run into the cross-run regression ledger, and
+    ``repro health --diff A B`` structurally compares two recorded
+    fingerprints instead of simulating.
 ``python -m repro campaign``
     The full figure-reproduction campaign (``--telemetry`` adds
     per-protocol attempt telemetry next to the sweeps).
@@ -211,15 +220,131 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     finally:
         instr.close()
     assert artifacts.obs is not None
-    print(artifacts.obs.render())
+    if args.json:
+        import json
+
+        print(json.dumps(artifacts.obs.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(artifacts.obs.render())
     if args.save is not None:
         from repro.experiments.persistence import save_obs_report
 
         save_obs_report(artifacts.obs, args.save)
-        print(f"\nreport saved to {args.save}")
-    if args.jsonl is not None:
+        if not args.json:
+            print(f"\nreport saved to {args.save}")
+    if args.jsonl is not None and not args.json:
         print(f"\nevent log written to {args.jsonl}")
     return 0
+
+
+def _hardened_factory(name: str) -> ProtocolFactory:
+    """One protocol in its hardened (guaranteed-termination) shape —
+    what a black-holed run needs to abandon instead of hanging."""
+    from repro.experiments.chaos import SRM_MAX_REQUEST_ROUNDS
+    from repro.protocols.naive import NaiveConfig
+    from repro.protocols.policy import RecoveryPolicy
+    from repro.protocols.rma import RMAConfig
+    from repro.protocols.rp import RPConfig
+    from repro.protocols.source import SourceConfig
+    from repro.protocols.srm import SRMConfig
+
+    policy = RecoveryPolicy.hardened()
+    if name == "srm":
+        return SRMProtocolFactory(
+            SRMConfig(max_request_rounds=SRM_MAX_REQUEST_ROUNDS)
+        )
+    return {
+        "rp": lambda: RPProtocolFactory(RPConfig(recovery_policy=policy)),
+        "rma": lambda: RMAProtocolFactory(RMAConfig(recovery_policy=policy)),
+        "source": lambda: SourceProtocolFactory(
+            SourceConfig(recovery_policy=policy)
+        ),
+        "random": lambda: RandomListProtocolFactory(
+            NaiveConfig(recovery_policy=policy)
+        ),
+        "nearest": lambda: NearestPeerProtocolFactory(
+            NaiveConfig(recovery_policy=policy)
+        ),
+    }[name]()
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.ledger import diff_fingerprints, load_fingerprint
+
+    if args.diff is not None:
+        a, b = (load_fingerprint(path) for path in args.diff)
+        diff = diff_fingerprints(a, b)
+        if args.json:
+            print(json.dumps({
+                "a": a.to_dict(),
+                "b": b.to_dict(),
+                "clean": diff.clean,
+                "config_match": diff.config_match,
+                "changed": {k: list(v) for k, v in sorted(diff.changed.items())},
+                "only_in_a": diff.only_in_a,
+                "only_in_b": diff.only_in_b,
+            }, indent=1, sort_keys=True))
+        else:
+            print(diff.render())
+        return 0 if diff.clean else 1
+
+    from repro.experiments.runner import run_protocol_detailed
+    from repro.obs import Instrumentation
+    from repro.obs.health import HealthConfig, render_health
+    from repro.obs.ledger import RegressionLedger, RunFingerprint
+    from repro.obs.timeseries import TimeSeriesCollector
+    from repro.sim.faults import FaultSchedule
+
+    config = _scenario_from(args)
+    built = build_scenario(config)
+    faults = None
+    if args.blackhole > 0:
+        # The stall demo: black-holed recovery traffic under a hardened
+        # policy retries with growing backoff, then abandons — the gaps
+        # are what the progress.stall watchdog exists to catch.
+        faults = FaultSchedule(
+            request_blackhole_prob=args.blackhole,
+            repair_blackhole_prob=args.blackhole,
+        )
+        factory = _hardened_factory(args.protocol)
+    else:
+        factory = PROTOCOLS[args.protocol]()
+    timeseries = TimeSeriesCollector(
+        window=args.window, max_windows=args.max_windows
+    )
+    instr = Instrumentation.recording(timeseries=timeseries)
+    try:
+        artifacts = run_protocol_detailed(
+            built, factory, instrumentation=instr, faults=faults,
+            health_config=HealthConfig(stall_windows=args.stall_windows),
+        )
+    finally:
+        instr.close()
+    health = artifacts.health
+    assert health is not None
+    fingerprint = RunFingerprint.from_artifacts(
+        args.label, config, artifacts,
+        meta={"command": "health", "blackhole": args.blackhole},
+    )
+    if args.json:
+        print(json.dumps({
+            "health": health.to_dict(),
+            "fingerprint": fingerprint.to_dict(),
+            "timeseries": timeseries.to_dict(),
+        }, indent=1, sort_keys=True))
+    else:
+        print(render_health(health, timeseries))
+    if args.fingerprint is not None:
+        fingerprint.save(args.fingerprint)
+        if not args.json:
+            print(f"\nfingerprint saved to {args.fingerprint}")
+    if args.ledger is not None:
+        RegressionLedger(args.ledger).append(fingerprint)
+        if not args.json:
+            print(f"fingerprint appended to {args.ledger}")
+    return 1 if health.violations else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -342,7 +467,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", metavar="PATH", default=None,
         help="save the attempt-level report as JSON",
     )
+    p_obs.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of the text breakdown",
+    )
     p_obs.set_defaults(func=_cmd_obs)
+
+    p_health = sub.add_parser(
+        "health",
+        help="windowed run-health check: sparklines, invariant watchdogs,"
+        " regression fingerprints",
+    )
+    _add_scenario_args(p_health)
+    p_health.add_argument(
+        "--protocol",
+        choices=sorted(PROTOCOLS),
+        default="rp",
+        help="protocol to run",
+    )
+    p_health.add_argument(
+        "--window", type=float, default=50.0, metavar="MS",
+        help="sim-time window width in ms (default 50)",
+    )
+    p_health.add_argument(
+        "--max-windows", type=int, default=512, metavar="N",
+        help="window-count bound; beyond it adjacent windows merge and"
+        " the width doubles (default 512)",
+    )
+    p_health.add_argument(
+        "--stall-windows", type=int, default=8, metavar="N",
+        help="consecutive silent windows with pending recoveries that"
+        " count as a stall (default 8)",
+    )
+    p_health.add_argument(
+        "--blackhole", type=float, default=0.0, metavar="P",
+        help="black-hole probability for REQUEST/REPAIR unicasts, run"
+        " under a hardened policy — the stall-watchdog demo (default 0)",
+    )
+    p_health.add_argument(
+        "--label", default="run", help="fingerprint label (default 'run')",
+    )
+    p_health.add_argument(
+        "--fingerprint", metavar="PATH", default=None,
+        help="save the run's regression fingerprint as JSON",
+    )
+    p_health.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="append the fingerprint to a JSONL regression ledger",
+    )
+    p_health.add_argument(
+        "--diff", nargs=2, metavar=("A", "B"), default=None,
+        help="compare two recorded fingerprints (.json file or .jsonl"
+        " ledger, newest entry) instead of simulating; exits non-zero"
+        " on any difference",
+    )
+    p_health.add_argument(
+        "--json", action="store_true",
+        help="print the health snapshot (verdict + fingerprint + series)"
+        " as JSON",
+    )
+    p_health.set_defaults(func=_cmd_health)
 
     p_trace = sub.add_parser(
         "trace",
@@ -504,9 +688,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.save is not None:
         sweep.save(args.save)
         print(f"\nsweep saved to {args.save}")
-    # The hardened-recovery gate: a faulted run may abandon, it must
-    # never silently hang a detected loss.
-    return 1 if sweep.total_violations else 0
+    # The hardened-recovery gates: a faulted run may abandon, it must
+    # never silently hang a detected loss, and the invariant watchdogs
+    # (conservation, quiescence) must stay silent on every cell.
+    return 1 if sweep.total_violations or sweep.total_health_violations else 0
 
 
 def _cmd_churn(args: argparse.Namespace) -> int:

@@ -25,6 +25,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.persistence import save_sweep
 from repro.experiments.report import improvement_pct, render_figure
+from repro.obs.ledger import RegressionLedger, RunFingerprint
 from repro.obs.profiler import Profiler
 
 
@@ -57,6 +58,10 @@ class CampaignResult:
     sweep_paths: dict[str, pathlib.Path]
     #: Per-protocol telemetry report files (``--telemetry`` only).
     obs_paths: dict[str, pathlib.Path] = field(default_factory=dict)
+    #: The campaign's regression fingerprint (``fingerprint.json``,
+    #: appended to ``ledger.jsonl`` next to it).
+    fingerprint: RunFingerprint | None = None
+    fingerprint_path: pathlib.Path | None = None
 
 
 def _overall_mean_or_none(
@@ -70,6 +75,59 @@ def _overall_mean_or_none(
         return sweep.overall_mean(protocol, metric)
     except ValueError:
         return None
+
+
+def campaign_fingerprint(
+    client_sweep: SweepResult,
+    loss_sweep: SweepResult,
+    num_packets: int,
+    seeds: tuple[int, ...],
+    lossless_recovery: bool,
+    label: str = "campaign",
+) -> RunFingerprint:
+    """Reduce a campaign to a diffable :class:`RunFingerprint`.
+
+    The config hash covers every knob that shapes the grid (packet
+    count, seeds, recovery-loss mode, the actual sweep points), so two
+    fingerprints only compare counter-for-counter when they measured
+    the same campaign.  Counters are sim-time quantities only: loss
+    totals, event totals and the figure-level means per protocol.
+    Failed parallel units are counted — a unit that starts failing in
+    CI shows up as a ``CHANGED`` line, not silence.
+    """
+    config_data = {
+        "num_packets": num_packets,
+        "seeds": list(seeds),
+        "lossless_recovery": lossless_recovery,
+        "client_routers": [pt.x for pt in client_sweep.points],
+        "loss_probs": [pt.x for pt in loss_sweep.points],
+    }
+    counters: dict[str, object] = {}
+    for name, sweep in (("client", client_sweep), ("loss", loss_sweep)):
+        counters[f"{name}.failures"] = len(sweep.failures)
+        for protocol in sweep.protocols:
+            runs = [r for pt in sweep.points for r in pt.runs[protocol]]
+            prefix = f"{name}.{protocol.lower()}"
+            counters[f"{prefix}.losses_detected"] = sum(
+                r.losses_detected for r in runs
+            )
+            counters[f"{prefix}.losses_recovered"] = sum(
+                r.losses_recovered for r in runs
+            )
+            counters[f"{prefix}.events_processed"] = sum(
+                r.events_processed for r in runs
+            )
+            for metric in ("latency", "bandwidth"):
+                value = _overall_mean_or_none(sweep, protocol, metric)
+                counters[f"{prefix}.{metric}"] = (
+                    None if value is None else round(value, 6)
+                )
+    return RunFingerprint.from_payload(
+        label,
+        config_data,
+        counters,
+        meta={"kind": "campaign", "protocols": list(client_sweep.protocols)},
+    )
 
 
 def _figure_block(sweep: SweepResult, ref: PaperReference) -> str:
@@ -200,6 +258,16 @@ def run_campaign(
     save_sweep(client_sweep, sweep_paths["client"])
     save_sweep(loss_sweep, sweep_paths["loss"])
 
+    fingerprint = campaign_fingerprint(
+        client_sweep, loss_sweep,
+        num_packets=num_packets, seeds=seeds,
+        lossless_recovery=lossless_recovery,
+    )
+    fingerprint_path = out / "fingerprint.json"
+    fingerprint.save(fingerprint_path)
+    RegressionLedger(out / "ledger.jsonl").append(fingerprint)
+    progress(f"regression fingerprint written to {fingerprint_path}")
+
     obs_paths: dict[str, pathlib.Path] = {}
     if telemetry:
         progress("recording attempt-level telemetry (one run per protocol)...")
@@ -263,4 +331,6 @@ def run_campaign(
         report_path=report_path,
         sweep_paths=sweep_paths,
         obs_paths=obs_paths,
+        fingerprint=fingerprint,
+        fingerprint_path=fingerprint_path,
     )

@@ -42,6 +42,7 @@ from repro.experiments.runner import (
     ensure_unique_factories,
     run_protocol_detailed,
 )
+from repro.obs.health import evaluate_health
 from repro.protocols.base import ProtocolFactory
 from repro.protocols.naive import NaiveConfig, NearestPeerProtocolFactory
 from repro.protocols.policy import RecoveryPolicy
@@ -105,6 +106,11 @@ class ChaosRunRecord:
     #: Detections that neither recovered nor abandoned (must be 0).
     liveness_violations: int
     sim_time: float
+    #: Invariant-watchdog failures from :func:`repro.obs.health.evaluate_health`
+    #: (conservation + quiescence; the windowed stall check needs an
+    #: instrumented run).  Defaults to 0 so pre-watchdog sweep JSON
+    #: still loads.
+    health_violations: int = 0
 
     @property
     def total_faults(self) -> int:
@@ -140,6 +146,10 @@ class ChaosPoint:
         records = self.records if protocol is None else self._of(protocol)
         return sum(r.liveness_violations for r in records)
 
+    def health_violations(self, protocol: str | None = None) -> int:
+        records = self.records if protocol is None else self._of(protocol)
+        return sum(r.health_violations for r in records)
+
 
 @dataclass
 class ChaosSweepResult:
@@ -160,6 +170,11 @@ class ChaosSweepResult:
     def total_violations(self) -> int:
         """The acceptance gate: must be zero across the whole sweep."""
         return sum(point.violations() for point in self.points)
+
+    @property
+    def total_health_violations(self) -> int:
+        """Invariant-watchdog gate: must also be zero across the sweep."""
+        return sum(point.health_violations() for point in self.points)
 
     def render(self) -> str:
         rows = []
@@ -197,6 +212,12 @@ class ChaosSweepResult:
             "\n\nliveness violations: "
             f"{self.total_violations}"
             + ("" if self.total_violations == 0 else "  <-- INVARIANT BROKEN")
+            + "\nhealth violations: "
+            f"{self.total_health_violations}"
+            + (
+                "" if self.total_health_violations == 0
+                else "  <-- INVARIANT BROKEN"
+            )
         )
         return header + "\n" + table + footer
 
@@ -274,8 +295,14 @@ def _run_cell(
             fault_counts={},
             liveness_violations=report.violations,
             sim_time=0.0,
+            # The hung recovery already tripped the liveness gate; the
+            # watchdogs never saw a drained run to audit.
+            health_violations=0,
         )
     summary = artifacts.summary
+    # Post-run watchdogs (conservation + quiescence): pure reads over
+    # the collectors, so gating costs nothing and perturbs nothing.
+    health = evaluate_health(artifacts.log, artifacts.ledger)
     return ChaosRunRecord(
         protocol=factory.name,
         seed=seed,
@@ -292,6 +319,7 @@ def _run_cell(
             artifacts.liveness.violations if artifacts.liveness is not None else 0
         ),
         sim_time=summary.sim_time,
+        health_violations=len(health.violations),
     )
 
 

@@ -28,7 +28,10 @@ What comes out per (intensity, seed, protocol) cell:
 * the ``member.tx_drop`` count, which must also be zero: agent teardown
   cancels every send a departing member had armed, so a send suppressed
   at the membership boundary would mean a recovery tried to settle
-  against a departed peer.
+  against a departed peer;
+* the invariant-watchdog count from
+  :func:`repro.obs.health.evaluate_health` (recovery conservation,
+  ledger accounting, quiescence at drain), also gated at zero.
 
 Intensity 0 draws the null schedule, so the leftmost column doubles as
 the churn-free baseline of the same build (byte-identical to a run
@@ -51,6 +54,7 @@ from repro.experiments.runner import (
     ensure_unique_factories,
     run_protocol_detailed,
 )
+from repro.obs.health import evaluate_health
 from repro.protocols.base import ProtocolFactory
 from repro.sim.faults import LivenessError
 from repro.sim.membership import MembershipSchedule, random_membership_schedule
@@ -103,6 +107,10 @@ class ChurnRunRecord:
     #: a from-scratch plan of the final group (``None`` when the
     #: protocol does not plan or nothing churned).
     repair_quality_gap: float | None = None
+    #: Invariant-watchdog failures from :func:`repro.obs.health.evaluate_health`
+    #: (conservation + quiescence + membership.tx_drop).  Defaults to 0
+    #: so pre-watchdog sweep JSON still loads.
+    health_violations: int = 0
 
     @property
     def leaves(self) -> int:
@@ -148,6 +156,10 @@ class ChurnPoint:
         records = self.records if protocol is None else self._of(protocol)
         return sum(r.tx_drops for r in records)
 
+    def health_violations(self, protocol: str | None = None) -> int:
+        records = self.records if protocol is None else self._of(protocol)
+        return sum(r.health_violations for r in records)
+
 
 @dataclass
 class ChurnSweepResult:
@@ -189,11 +201,18 @@ class ChurnSweepResult:
         )
 
     @property
+    def total_health_violations(self) -> int:
+        """Acceptance gate 4: zero everywhere (invariant watchdogs —
+        conservation, quiescence, membership.tx_drop — stay silent)."""
+        return sum(point.health_violations() for point in self.points)
+
+    @property
     def gates_pass(self) -> bool:
         return (
             self.total_violations == 0
             and self.total_tx_drops == 0
             and self.max_quality_gap <= QUALITY_GAP_LIMIT
+            and self.total_health_violations == 0
         )
 
     def render(self) -> str:
@@ -250,6 +269,7 @@ class ChurnSweepResult:
             f"{self.total_violations}"
             f"  member tx drops: {self.total_tx_drops}"
             f"  worst repair gap: {100.0 * self.max_quality_gap:.2f}%"
+            f"  health violations: {self.total_health_violations}"
             + ("" if self.gates_pass else "  <-- INVARIANT BROKEN")
         )
         return header + "\n" + table + footer
@@ -336,8 +356,19 @@ def _run_cell(
             member_counts={},
             liveness_violations=report.violations,
             sim_time=0.0,
+            # The run died mid-flight; the watchdogs need completed
+            # collectors, so the liveness violation carries the signal.
+            health_violations=0,
         )
     summary = artifacts.summary
+    health = evaluate_health(
+        artifacts.log,
+        artifacts.ledger,
+        membership_tx_drops=(
+            dict(artifacts.membership.counts).get("member.tx_drop", 0)
+            if artifacts.membership is not None else None
+        ),
+    )
     repair_events = repair_replans = 0
     repair_fraction = repair_seconds = 0.0
     quality_gap = None
@@ -375,6 +406,7 @@ def _run_cell(
         repair_fraction=repair_fraction,
         repair_seconds=repair_seconds,
         repair_quality_gap=quality_gap,
+        health_violations=len(health.violations),
     )
 
 

@@ -18,9 +18,12 @@ from repro.net.generators import random_backbone
 from repro.net.mcast_tree import MulticastTree, random_multicast_tree
 from repro.net.routing import RoutingTable
 from repro.net.topology import Topology
+from repro.obs.events import HealthEvent
+from repro.obs.health import HealthConfig, HealthReport, evaluate_health
 from repro.obs.instrumentation import Instrumentation
 from repro.obs.report import ObsReport, build_obs_report
 from repro.obs.spans import SpanStore
+from repro.obs.timeseries import TimeSeriesCollector
 from repro.protocols.base import CompletionTracker, ProtocolFactory, StreamDriver
 from repro.sim.congestion import LinearCongestionModel
 from repro.sim.engine import EventQueue
@@ -88,6 +91,14 @@ class RunArtifacts:
     #: Causal span trees; ``None`` unless the instrumentation carried a
     #: :class:`~repro.obs.tracing.Tracer` (``recording(trace=True)``).
     spans: SpanStore | None = None
+    #: Windowed sim-time series; ``None`` unless the instrumentation
+    #: carried a :class:`~repro.obs.timeseries.TimeSeriesCollector`
+    #: (``recording(timeseries=...)``).  Finalized at the drain cutoff.
+    timeseries: TimeSeriesCollector | None = None
+    #: Invariant watchdog verdict (see :mod:`repro.obs.health`); only
+    #: produced alongside ``timeseries`` — uninstrumented harnesses run
+    #: :func:`~repro.obs.health.evaluate_health` themselves.
+    health: HealthReport | None = None
 
 
 def run_protocol(
@@ -115,6 +126,7 @@ def run_protocol_detailed(
     instrumentation: Instrumentation | None = None,
     faults: FaultSchedule | None = None,
     membership: MembershipSchedule | None = None,
+    health_config: HealthConfig | None = None,
 ) -> RunArtifacts:
     """Like :func:`run_protocol` but also returns the raw collectors
     (per-loss timelines, per-kind hop counters).
@@ -142,6 +154,16 @@ def run_protocol_detailed(
     of the tree, wire incremental plan repair into factories that
     support it (:meth:`~repro.protocols.rp.RPProtocolFactory.attach_membership`),
     and assert the same liveness invariant as faulted runs.
+
+    When the instrumentation carries a time-series collector
+    (``recording(timeseries=...)``), the collector is armed with the
+    live engine and ledger before the stream starts, the array
+    dissemination fast path is disarmed (its batched ledger charges
+    would smear per-window bandwidth — the same contract as the
+    profiler), and after the drain the collector is finalized and the
+    :mod:`~repro.obs.health` watchdogs run; violations are mirrored
+    onto the event bus as :class:`~repro.obs.events.HealthEvent`
+    records.  ``health_config`` tunes the watchdog thresholds.
     """
     config = built.config
     instr = instrumentation
@@ -212,10 +234,19 @@ def run_protocol_detailed(
         network, source_agent, config.stream_config(), tracker,
         instrumentation=instr,
     )
-    # Arm the array dissemination fast path (no-op under jitter,
-    # congestion, faults, profiling or REPRO_FAST_DISSEM=0; per-call
-    # conditions fall back to the scalar path bit-identically).
-    network.enable_fast_dissem(config.stream_config())
+    timeseries = instr.timeseries if instr is not None else None
+    if timeseries is None:
+        # Arm the array dissemination fast path (no-op under jitter,
+        # congestion, faults, profiling or REPRO_FAST_DISSEM=0; per-call
+        # conditions fall back to the scalar path bit-identically).
+        network.enable_fast_dissem(config.stream_config())
+    else:
+        # The fast path batches its ledger charges at send time, which
+        # would smear the collector's per-window bandwidth series;
+        # disarm it explicitly (the profiler's contract) rather than
+        # let the windows silently skew.  The scalar path is
+        # bit-identical modulo events_processed.
+        timeseries.arm(events, ledger)
     driver.start()
 
     events.run(max_events=config.max_events, stop_when=lambda: tracker.complete)
@@ -245,6 +276,29 @@ def run_protocol_detailed(
         # abandon, but it must never silently hang a detected loss.
         liveness = RecoveryLivenessChecker().assert_terminated(log, events)
 
+    health = None
+    if timeseries is not None:
+        timeseries.finalize(events.now)
+        health = evaluate_health(
+            log,
+            ledger,
+            membership_tx_drops=(
+                director.counts.get("member.tx_drop", 0)
+                if director is not None else None
+            ),
+            timeseries=timeseries,
+            config=health_config,
+        )
+        if instr is not None and instr.bus.active:
+            for violation in health.violations:
+                instr.bus.emit(HealthEvent(
+                    time=events.now,
+                    check=violation.check,
+                    message=violation.message,
+                    window_start=violation.window_start,
+                    window_end=violation.window_end,
+                ))
+
     summary = summarize_run(
         protocol=factory.name,
         num_clients=len(clients),
@@ -265,6 +319,7 @@ def run_protocol_detailed(
         summary=summary, log=log, ledger=ledger, obs=obs,
         faults=injector, liveness=liveness, membership=director,
         spans=tracer.store if tracer is not None else None,
+        timeseries=timeseries, health=health,
     )
 
 

@@ -27,7 +27,16 @@ behaviour.  This subpackage records it:
   (Chrome/Perfetto trace-event JSON, JSONL);
 * :mod:`repro.obs.critical_path` — splits traced recovery latency into
   request-transit / peer-processing / repair-transit / timeout-slack /
-  backoff components and checks per-rank outcomes against the model.
+  backoff components and checks per-rank outcomes against the model;
+* :mod:`repro.obs.timeseries` — bounded fixed-width sim-time windows
+  over the event stream (event rate, in-flight recoveries by phase,
+  per-kind bandwidth, timer-heap size) with ASCII sparklines;
+* :mod:`repro.obs.health` — invariant watchdogs over those windows and
+  the end-of-run collectors (stall, conservation, quiescence), each
+  failure a typed :class:`HealthViolation`;
+* :mod:`repro.obs.ledger` — the cross-run regression ledger: config
+  hash + counters + series digests per run, append-only JSONL, with a
+  structural differ behind ``repro health --diff``.
 
 See ``docs/OBSERVABILITY.md`` for the event taxonomy, how to check
 Lemma 3 against recorded attempts, and the causal-tracing workflow.
@@ -39,10 +48,32 @@ from repro.obs.events import (
     BackoffEvent,
     EventBus,
     FaultEvent,
+    HealthEvent,
     ObsEvent,
     PhaseEvent,
     TimerEvent,
     event_from_dict,
+)
+from repro.obs.health import (
+    HealthConfig,
+    HealthReport,
+    HealthViolation,
+    evaluate_health,
+    render_health,
+)
+from repro.obs.ledger import (
+    FingerprintDiff,
+    RegressionLedger,
+    RunFingerprint,
+    config_hash,
+    diff_fingerprints,
+    load_fingerprint,
+)
+from repro.obs.timeseries import (
+    TimeSeriesCollector,
+    Window,
+    render_sparklines,
+    sparkline,
 )
 from repro.obs.critical_path import (
     COMPONENTS,
@@ -89,6 +120,22 @@ __all__ = [
     "BackoffEvent",
     "EventBus",
     "FaultEvent",
+    "HealthEvent",
+    "HealthConfig",
+    "HealthReport",
+    "HealthViolation",
+    "evaluate_health",
+    "render_health",
+    "FingerprintDiff",
+    "RegressionLedger",
+    "RunFingerprint",
+    "config_hash",
+    "diff_fingerprints",
+    "load_fingerprint",
+    "TimeSeriesCollector",
+    "Window",
+    "render_sparklines",
+    "sparkline",
     "ObsEvent",
     "PhaseEvent",
     "TimerEvent",

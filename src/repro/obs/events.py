@@ -161,6 +161,26 @@ class FaultEvent(ObsEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class HealthEvent(ObsEvent):
+    """One invariant watchdog violation (see :mod:`repro.obs.health`).
+
+    ``check`` is the dotted watchdog name (``progress.stall``,
+    ``conservation.recovery``, ``conservation.ledger``,
+    ``membership.tx_drop``, ``quiescence.drain``); ``window_start`` /
+    ``window_end`` bound the offending sim-time window (-1 for run-wide
+    checks evaluated at drain).  ``time`` is when the watchdog fired,
+    which for drain-time checks is the drain cutoff.
+    """
+
+    kind: ClassVar[str] = "health"
+
+    check: str = ""
+    message: str = ""
+    window_start: float = -1.0
+    window_end: float = -1.0
+
+
+@dataclass(frozen=True, slots=True)
 class MemberEvent(ObsEvent):
     """A group-composition change or its enforcement.
 
@@ -181,7 +201,7 @@ _EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.kind: cls
     for cls in (
         AttemptEvent, TimerEvent, BackoffEvent, PhaseEvent, FaultEvent,
-        MemberEvent,
+        MemberEvent, HealthEvent,
     )
 }
 

@@ -46,6 +46,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import Profiler
 from repro.obs.sinks import JsonlSink, NullSink, RingBufferSink
 from repro.obs.spans import NO_SPAN
+from repro.obs.timeseries import TimeSeriesCollector
 from repro.obs.tracing import Tracer
 
 
@@ -69,6 +70,12 @@ class Instrumentation:
         #: for packet stamping.  None keeps every forwarding site at a
         #: single attribute test.
         self.tracer = tracer
+        #: Optional windowed :class:`~repro.obs.timeseries.TimeSeriesCollector`.
+        #: Set by ``recording(timeseries=...)`` (which also attaches it
+        #: as a bus sink); the runner arms it with the live engine and
+        #: ledger, disarms the fast dissemination path for it, and
+        #: finalizes it at drain.  None means no windowing anywhere.
+        self.timeseries: TimeSeriesCollector | None = None
         # Emit helpers run on the protocol hot path; caching the counter
         # per tuple key skips the dotted-name formatting and registry
         # lookup after the first emit of each (protocol, status) pair.
@@ -96,6 +103,7 @@ class Instrumentation:
         profile: bool = True,
         trace: bool = False,
         trace_sample_rate: float = 1.0,
+        timeseries: TimeSeriesCollector | None = None,
     ) -> "Instrumentation":
         """Ring buffer (+ optional JSONL file), profiler on by default.
 
@@ -103,15 +111,26 @@ class Instrumentation:
         (head-sampled at ``trace_sample_rate``; abandonment/fault traces
         always kept) — the runner registers it on the network and
         finishes it after the drain.
+
+        ``timeseries`` attaches a windowed
+        :class:`~repro.obs.timeseries.TimeSeriesCollector` as an extra
+        bus sink and exposes it as ``instr.timeseries`` so the runner
+        can arm/finalize it (the ``repro health`` configuration).
+        ``None`` changes nothing — byte-identical to a build without
+        the time-series subsystem.
         """
         sinks: list = [RingBufferSink(capacity)]
         if jsonl_path is not None:
             sinks.append(JsonlSink(jsonl_path))
+        if timeseries is not None:
+            sinks.append(timeseries)
         tracer = Tracer(sample_rate=trace_sample_rate) if trace else None
-        return cls(
+        instr = cls(
             bus=EventBus(sinks), profiler=Profiler(enabled=profile),
             tracer=tracer,
         )
+        instr.timeseries = timeseries
+        return instr
 
     # -- emit helpers ---------------------------------------------------------
 

@@ -55,58 +55,173 @@ class Gauge:
 
 
 class Histogram:
-    """All observed samples, with nearest-rank percentile queries.
+    """Bounded-memory distribution with nearest-rank percentile queries.
 
-    Samples are kept verbatim (the simulator's volumes are bounded by
-    protocol events, not packets), so percentiles are exact rather than
-    bucket-approximated.  The sorted view is cached and invalidated on
-    the next observation.
+    Two regimes.  Up to ``exact_limit`` observations, samples are kept
+    verbatim and percentiles are exact — every histogram a figure-sized
+    run produces stays in this regime.  Past the limit the samples
+    collapse into ``num_bins`` fixed-width bins and each further
+    observation costs O(1) memory: a 100k-client instrumented run holds
+    256 ints per histogram, not one float per latency sample.
+
+    ``count``, ``total``, ``mean``, ``min`` and ``max`` are maintained
+    as running aggregates and stay **exact in both regimes**; only
+    percentiles coarsen, to bin-midpoint resolution (p0/p100 still
+    return the exact min/max).  When an observation falls outside the
+    binned range, the bins are re-gridded over the exact [min, max]
+    span, reassigning each old bin's count at its midpoint — a bin
+    never silently drops a sample.
     """
 
-    __slots__ = ("name", "_samples", "_sorted")
+    __slots__ = (
+        "name", "exact_limit", "num_bins", "_samples", "_sorted",
+        "_bins", "_bin_lo", "_bin_width", "_count", "_total", "_min",
+        "_max",
+    )
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, exact_limit: int = 1024, num_bins: int = 256):
+        if exact_limit < 1:
+            raise ValueError(f"exact_limit must be >= 1, got {exact_limit}")
+        if num_bins < 2:
+            raise ValueError(f"num_bins must be >= 2, got {num_bins}")
         self.name = name
+        self.exact_limit = exact_limit
+        self.num_bins = num_bins
         self._samples: list[float] = []
         self._sorted: list[float] | None = None
+        self._bins: list[int] | None = None
+        self._bin_lo = 0.0
+        self._bin_width = 1.0
+        self._count = 0
+        self._total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
 
     def observe(self, value: float) -> None:
-        self._samples.append(value)
+        self._count += 1
+        self._total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self._bins is None:
+            self._samples.append(value)
+            self._sorted = None
+            if len(self._samples) > self.exact_limit:
+                self._collapse()
+        else:
+            index = self._bin_index(value)
+            if index is None:
+                self._regrid()
+                index = self._bin_index(value)
+                assert index is not None  # regrid covers [min, max]
+            self._bins[index] += 1
+
+    # -- binned regime ---------------------------------------------------
+
+    def _grid(self) -> None:
+        """Size the bin grid to the exact observed [min, max] span."""
+        assert self._min is not None and self._max is not None
+        self._bin_lo = self._min
+        span = self._max - self._min
+        self._bin_width = (span / self.num_bins) if span > 0 else 1.0
+
+    def _bin_index(self, value: float) -> int | None:
+        """Bin index for ``value``; None when outside the current grid."""
+        offset = value - self._bin_lo
+        if offset < 0:
+            return None
+        index = int(offset / self._bin_width)
+        if index >= self.num_bins:
+            # The grid's top edge belongs to the last bin.
+            if value <= self._bin_lo + self._bin_width * self.num_bins:
+                return self.num_bins - 1
+            return None
+        return index
+
+    def _collapse(self) -> None:
+        """Leave the exact regime: fold every retained sample into bins."""
+        self._grid()
+        self._bins = [0] * self.num_bins
+        for sample in self._samples:
+            self._bins[self._bin_index(sample)] += 1
+        self._samples = []
         self._sorted = None
+
+    def _regrid(self) -> None:
+        """Re-span the grid over the new [min, max]; counts move to the
+        bin containing their old bin's midpoint."""
+        assert self._bins is not None
+        old = [
+            (self._bin_lo + (i + 0.5) * self._bin_width, count)
+            for i, count in enumerate(self._bins)
+            if count
+        ]
+        self._grid()
+        self._bins = [0] * self.num_bins
+        for midpoint, count in old:
+            index = self._bin_index(min(max(midpoint, self._min), self._max))
+            self._bins[index] += count
+
+    # -- aggregates (exact in both regimes) ------------------------------
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self._samples)
+        return self._total
 
     @property
     def mean(self) -> float | None:
-        return self.total / self.count if self._samples else None
+        return self._total / self._count if self._count else None
 
     @property
     def min(self) -> float | None:
-        return min(self._samples) if self._samples else None
+        return self._min
 
     @property
     def max(self) -> float | None:
-        return max(self._samples) if self._samples else None
+        return self._max
+
+    @property
+    def binned(self) -> bool:
+        """True once the histogram left the exact-sample regime."""
+        return self._bins is not None
 
     def percentile(self, q: float) -> float | None:
-        """Nearest-rank percentile; ``q`` in [0, 100]; None when empty."""
+        """Nearest-rank percentile; ``q`` in [0, 100]; None when empty.
+
+        Exact below ``exact_limit`` observations; bin-midpoint
+        resolution after (clamped to the exact [min, max], with p0 and
+        p100 returning them exactly).
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"q must be in [0, 100], got {q}")
-        if not self._samples:
+        if not self._count:
             return None
-        if self._sorted is None:
-            self._sorted = sorted(self._samples)
-        ranked = self._sorted
-        rank = int(round(q / 100.0 * (len(ranked) - 1)))
-        return ranked[max(0, min(len(ranked) - 1, rank))]
+        rank = int(round(q / 100.0 * (self._count - 1)))
+        rank = max(0, min(self._count - 1, rank))
+        if self._bins is None:
+            if self._sorted is None:
+                self._sorted = sorted(self._samples)
+            return self._sorted[rank]
+        if rank == 0:
+            return self._min
+        if rank == self._count - 1:
+            return self._max
+        seen = 0
+        for i, count in enumerate(self._bins):
+            seen += count
+            if seen > rank:
+                midpoint = self._bin_lo + (i + 0.5) * self._bin_width
+                return min(max(midpoint, self._min), self._max)
+        return self._max  # pragma: no cover - counts always sum to _count
 
     def samples(self) -> list[float]:
+        """The verbatim samples (exact regime) — empty once binned;
+        check :attr:`binned` before relying on this view."""
         return list(self._samples)
 
 

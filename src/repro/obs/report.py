@@ -70,6 +70,10 @@ class ObsReport:
     #: Ring-buffer evictions during the run: non-zero means the report
     #: was folded from a truncated window, not the whole run.
     events_dropped: int = 0
+    #: Pre-rendered ASCII sparkline block (see
+    #: :func:`repro.obs.timeseries.render_sparklines`); empty unless the
+    #: run carried a time-series collector.
+    sparklines: str = ""
 
     @property
     def mean_attempts_per_recovery(self) -> float | None:
@@ -107,6 +111,7 @@ class ObsReport:
             "counters": dict(self.counters),
             "events_recorded": self.events_recorded,
             "events_dropped": self.events_dropped,
+            "sparklines": self.sparklines,
         }
 
     @classmethod
@@ -134,6 +139,8 @@ class ObsReport:
             # Tolerant read: reports saved before the drop counter
             # existed simply never dropped anything they could count.
             events_dropped=data.get("events_dropped", 0),
+            # Same for reports saved before sparklines existed.
+            sparklines=data.get("sparklines", ""),
         )
 
     # -- rendering -------------------------------------------------------------
@@ -190,6 +197,11 @@ class ObsReport:
                 f"{name}={value}" for name, value in membership.items()
             )
             lines.append(f"  {parts}")
+        if self.sparklines:
+            lines.append("")
+            lines.append("time series (sim-time windows):")
+            for row in self.sparklines.splitlines():
+                lines.append(f"  {row}")
         if self.timers:
             lines.append("")
             lines.append("top timers (wall clock):")
@@ -234,6 +246,12 @@ def build_obs_report(
     model's per-rank predictions next to the measured success rates.
     """
     events = instr.ring_events()
+    timeseries = getattr(instr, "timeseries", None)
+    sparklines = ""
+    if timeseries is not None and timeseries.num_windows:
+        from repro.obs.timeseries import render_sparklines
+
+        sparklines = render_sparklines(timeseries)
     dropped = sum(
         sink.dropped
         for sink in instr.bus.sinks
@@ -296,4 +314,5 @@ def build_obs_report(
         counters=instr.registry.snapshot(),
         events_recorded=len(events),
         events_dropped=dropped,
+        sparklines=sparklines,
     )

@@ -1,0 +1,176 @@
+"""Unit tests for the cross-run regression ledger."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_scenario, run_protocol_detailed
+from repro.obs import Instrumentation, TimeSeriesCollector
+from repro.obs.ledger import (
+    RegressionLedger,
+    RunFingerprint,
+    config_hash,
+    diff_fingerprints,
+    load_fingerprint,
+)
+from repro.protocols.rp import RPProtocolFactory
+
+CONFIG = ScenarioConfig(
+    seed=7, num_routers=30, loss_prob=0.08, num_packets=6,
+    lossless_recovery=False,
+)
+
+
+def _fingerprint(label="run", **overrides):
+    counters = {"losses_detected": 10, "avg_latency": 42.5}
+    counters.update(overrides)
+    return RunFingerprint.from_payload(
+        label, {"seed": 7}, counters, meta={"note": "x"}
+    )
+
+
+# -- config hashing -------------------------------------------------------
+
+
+def test_config_hash_is_order_insensitive_and_knob_sensitive():
+    a = config_hash({"seed": 1, "loss": 0.05})
+    b = config_hash({"loss": 0.05, "seed": 1})
+    c = config_hash({"seed": 2, "loss": 0.05})
+    assert a == b
+    assert a != c
+
+
+def test_config_hash_accepts_dataclasses():
+    assert config_hash(CONFIG) == config_hash(CONFIG)
+    other = ScenarioConfig(
+        seed=8, num_routers=30, loss_prob=0.08, num_packets=6,
+        lossless_recovery=False,
+    )
+    assert config_hash(CONFIG) != config_hash(other)
+
+
+# -- diffing --------------------------------------------------------------
+
+
+def test_identical_fingerprints_diff_clean():
+    diff = diff_fingerprints(_fingerprint(), _fingerprint())
+    assert diff.clean
+    assert "MATCH" in diff.render()
+
+
+def test_counter_change_is_reported():
+    diff = diff_fingerprints(
+        _fingerprint(), _fingerprint(losses_detected=11)
+    )
+    assert not diff.clean
+    assert diff.changed == {"counters.losses_detected": (10, 11)}
+    assert "CHANGED counters.losses_detected" in diff.render()
+
+
+def test_meta_never_participates_in_diff():
+    a = _fingerprint()
+    b = RunFingerprint.from_payload(
+        "run", {"seed": 7},
+        {"losses_detected": 10, "avg_latency": 42.5},
+        meta={"note": "entirely different"},
+    )
+    assert diff_fingerprints(a, b).clean
+
+
+def test_config_mismatch_is_flagged():
+    b = RunFingerprint.from_payload(
+        "run", {"seed": 999}, {"losses_detected": 10, "avg_latency": 42.5}
+    )
+    diff = diff_fingerprints(_fingerprint(), b)
+    assert not diff.config_match
+    assert "CONFIG MISMATCH" in diff.render()
+
+
+def test_missing_counters_split_into_only_in_sides():
+    a = RunFingerprint.from_payload("a", {}, {"x": 1, "shared": 0})
+    b = RunFingerprint.from_payload("b", {}, {"y": 2, "shared": 0})
+    diff = diff_fingerprints(a, b)
+    assert diff.only_in_a == ["counters.x"]
+    assert diff.only_in_b == ["counters.y"]
+
+
+def test_series_digests_are_compared_flat():
+    a = RunFingerprint.from_payload(
+        "a", {}, {}, series={"succeeded": {"crc": 1, "total": 5}}
+    )
+    b = RunFingerprint.from_payload(
+        "b", {}, {}, series={"succeeded": {"crc": 2, "total": 5}}
+    )
+    diff = diff_fingerprints(a, b)
+    assert diff.changed == {"series.succeeded.crc": (1, 2)}
+
+
+# -- persistence ----------------------------------------------------------
+
+
+def test_fingerprint_round_trips_through_file(tmp_path):
+    path = tmp_path / "fp.json"
+    original = _fingerprint()
+    original.save(path)
+    loaded = RunFingerprint.load(path)
+    assert loaded.to_dict() == original.to_dict()
+    assert diff_fingerprints(original, loaded).clean
+
+
+def test_schema_version_is_enforced(tmp_path):
+    path = tmp_path / "fp.json"
+    _fingerprint().save(path)
+    data = json.loads(path.read_text())
+    data["schema"] = 999
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="schema"):
+        RunFingerprint.load(path)
+
+
+def test_ledger_appends_and_returns_latest(tmp_path):
+    ledger = RegressionLedger(tmp_path / "ledger.jsonl")
+    assert ledger.entries() == []
+    assert ledger.latest() is None
+    ledger.append(_fingerprint("first"))
+    ledger.append(_fingerprint("second", losses_detected=11))
+    entries = ledger.entries()
+    assert [e.label for e in entries] == ["first", "second"]
+    assert ledger.latest().label == "second"
+    assert ledger.latest(label="first").counters["losses_detected"] == 10
+
+
+def test_load_fingerprint_dispatches_on_suffix(tmp_path):
+    json_path = tmp_path / "fp.json"
+    _fingerprint("solo").save(json_path)
+    assert load_fingerprint(json_path).label == "solo"
+
+    ledger_path = tmp_path / "ledger.jsonl"
+    RegressionLedger(ledger_path).append(_fingerprint("newest"))
+    assert load_fingerprint(ledger_path).label == "newest"
+
+    with pytest.raises(ValueError, match="no entries"):
+        load_fingerprint(tmp_path / "empty.jsonl")
+
+
+# -- from_artifacts -------------------------------------------------------
+
+
+def test_from_artifacts_is_deterministic_and_diffable():
+    def one_run():
+        built = build_scenario(CONFIG)
+        instr = Instrumentation.recording(timeseries=TimeSeriesCollector())
+        try:
+            artifacts = run_protocol_detailed(
+                built, RPProtocolFactory(), instrumentation=instr
+            )
+        finally:
+            instr.close()
+        return RunFingerprint.from_artifacts("t", CONFIG, artifacts)
+
+    a, b = one_run(), one_run()
+    assert diff_fingerprints(a, b).clean
+    assert a.counters["health_violations"] == 0
+    assert a.counters["losses_detected"] > 0
+    assert a.series  # timeseries digests present
+    assert a.meta["protocol"] == "RP"

@@ -76,6 +76,81 @@ class TestHistogram:
         assert h.count == 1
 
 
+class TestHistogramBinnedRegime:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", exact_limit=0)
+        with pytest.raises(ValueError):
+            Histogram("lat", num_bins=1)
+
+    def test_collapse_happens_past_exact_limit(self):
+        h = Histogram("lat", exact_limit=10, num_bins=8)
+        for v in range(10):
+            h.observe(float(v))
+        assert not h.binned
+        h.observe(10.0)
+        assert h.binned
+        assert h.samples() == []  # verbatim samples gone once binned
+
+    def test_aggregates_stay_exact_after_collapse(self):
+        h = Histogram("lat", exact_limit=100, num_bins=32)
+        values = [float((7 * i) % 500) for i in range(5000)]
+        for v in values:
+            h.observe(v)
+        assert h.binned
+        assert h.count == 5000
+        assert h.total == sum(values)
+        assert h.min == min(values)
+        assert h.max == max(values)
+        assert h.mean == pytest.approx(sum(values) / 5000)
+
+    def test_memory_stays_bounded(self):
+        h = Histogram("lat", exact_limit=16, num_bins=8)
+        for i in range(10_000):
+            h.observe(float(i % 321))
+        assert len(h._bins) == 8
+        assert sum(h._bins) == 10_000
+
+    def test_binned_percentiles_near_exact(self):
+        exact = Histogram("a", exact_limit=10_000)
+        binned = Histogram("b", exact_limit=100, num_bins=64)
+        values = [float((13 * i) % 1000) for i in range(5000)]
+        for v in values:
+            exact.observe(v)
+            binned.observe(v)
+        assert not exact.binned and binned.binned
+        span = (binned.max - binned.min) / 64  # one bin width
+        for q in (10.0, 50.0, 90.0, 95.0):
+            assert binned.percentile(q) == pytest.approx(
+                exact.percentile(q), abs=1.5 * span
+            )
+        # p0/p100 stay exactly min/max in both regimes.
+        assert binned.percentile(0.0) == exact.percentile(0.0)
+        assert binned.percentile(100.0) == exact.percentile(100.0)
+
+    def test_out_of_range_observation_regrids(self):
+        h = Histogram("lat", exact_limit=4, num_bins=8)
+        for v in (10.0, 11.0, 12.0, 13.0, 14.0):
+            h.observe(v)
+        assert h.binned
+        h.observe(500.0)   # above the grid
+        h.observe(-500.0)  # below the new grid
+        assert h.count == 7
+        assert h.min == -500.0
+        assert h.max == 500.0
+        assert sum(h._bins) == 7  # no sample silently dropped
+        assert h.percentile(100.0) == 500.0
+        assert h.percentile(0.0) == -500.0
+
+    def test_identical_values_collapse_cleanly(self):
+        h = Histogram("lat", exact_limit=3, num_bins=4)
+        for _ in range(10):
+            h.observe(5.0)
+        assert h.binned
+        assert h.count == 10
+        assert h.percentile(50.0) == pytest.approx(5.0, abs=1.0)
+
+
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):
         reg = MetricsRegistry()

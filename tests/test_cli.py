@@ -202,3 +202,36 @@ class TestTraceCommand:
         assert main(common + ["--spans", str(b)]) == 0
         capsys.readouterr()
         assert a.read_bytes() == b.read_bytes()
+
+
+class TestHealthCommand:
+    def test_health_defaults(self):
+        args = build_parser().parse_args(["health"])
+        assert args.protocol == "rp"
+        assert args.window == 50.0
+        assert args.max_windows == 512
+        assert args.stall_windows == 8
+        assert args.blackhole == 0.0
+        assert args.label == "run"
+        assert args.diff is None and not args.json
+
+    def test_health_clean_run_exits_zero(self, capsys):
+        rc = main([
+            "health", "--routers", "30", "--packets", "6", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK: no invariant violations" in out
+        assert "windows:" in out
+
+    def test_health_fingerprint_diff_round_trip(self, capsys, tmp_path):
+        fp = tmp_path / "fp.json"
+        ledger = tmp_path / "ledger.jsonl"
+        common = [
+            "health", "--routers", "30", "--packets", "6", "--seed", "1",
+        ]
+        assert main(common + ["--fingerprint", str(fp)]) == 0
+        assert main(common + ["--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["health", "--diff", str(fp), str(ledger)]) == 0
+        assert "MATCH" in capsys.readouterr().out
